@@ -1,0 +1,85 @@
+// Command kifmm-bench regenerates the paper's evaluation artifacts
+// (Tables 4.1-4.3, Figures 4.2-4.3 and the M2L ablation) at a
+// configurable scale.
+//
+// Usage:
+//
+//	kifmm-bench -exp table4.1            # one experiment
+//	kifmm-bench -exp all -scale 2        # everything, 2x the default size
+//	kifmm-bench -list                    # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table4.1, fig4.2, table4.2, fig4.3, table4.3, ablation-m2l, all)")
+	scale := flag.Float64("scale", 1, "multiply the default particle counts by this factor")
+	iters := flag.Int("iters", 1, "average the interaction evaluation over this many iterations")
+	maxP := flag.Int("maxp", 0, "cap the processor sweep at this rank count (0 = default sweep)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := harness.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-14s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	sc := harness.DefaultScale()
+	sc.FixedN = int(float64(sc.FixedN) * *scale)
+	sc.Grain = int(float64(sc.Grain) * *scale)
+	for i := range sc.LargeGrains {
+		sc.LargeGrains[i] = int(float64(sc.LargeGrains[i]) * *scale)
+	}
+	sc.Iterations = *iters
+	if *maxP > 0 {
+		sc.FixedProcs = capProcs(sc.FixedProcs, *maxP)
+		sc.IsoProcs = capProcs(sc.IsoProcs, *maxP)
+		if sc.LargeProcs > *maxP {
+			sc.LargeProcs = *maxP
+		}
+	}
+
+	ran := false
+	for _, e := range exps {
+		if *exp != "all" && *exp != e.ID {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("== %s: %s\n\n", e.ID, e.Description)
+		out, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %s]\n\n", e.ID, harness.Elapse(start))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func capProcs(ps []int, max int) []int {
+	out := ps[:0:0]
+	for _, p := range ps {
+		if p <= max {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{max}
+	}
+	return out
+}

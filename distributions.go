@@ -1,0 +1,31 @@
+package kifmm
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// SpherePatches samples n particles from spheres of radius r centered on
+// a g x g x g grid in [-1,1]³ — the paper's "512 spheres" input when
+// g = 8. One patch per sphere.
+func SpherePatches(seed int64, n, g int, r float64) []Patch {
+	return geom.SphereGrid(rand.New(rand.NewSource(seed)), n, g, r)
+}
+
+// CornerPatches samples the paper's non-uniform distribution: n
+// particles clustered at the eight corners of [-1,1]³.
+func CornerPatches(seed int64, n int, spread float64) []Patch {
+	return geom.CornerClusters(rand.New(rand.NewSource(seed)), n, spread, 8)
+}
+
+// UniformPatches samples n particles uniformly in [-1,1]³ as one patch.
+func UniformPatches(seed int64, n int) []Patch {
+	return geom.UniformCube(rand.New(rand.NewSource(seed)), n)
+}
+
+// RandomDensities draws count*dim density components uniformly from
+// [0,1], the paper's density setup.
+func RandomDensities(seed int64, count, dim int) []float64 {
+	return geom.RandomDensities(rand.New(rand.NewSource(seed)), count, dim)
+}

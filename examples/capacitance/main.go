@@ -1,0 +1,105 @@
+// Boundary integral equation demo: the capacitance of a sphere, solved
+// exactly the way the paper's applications use the FMM — a first-kind
+// single-layer integral equation discretized by collocation, solved with
+// GMRES where every mat-vec is one FMM interaction evaluation
+// ("matrix vector multiplication within a Krylov method", paper §3).
+//
+// For the unit-radius conductor held at potential 1, the single-layer
+// density is σ = 1/a, the total charge Q = 4πa (Gaussian units with the
+// 1/(4πr) kernel), and the exterior potential is a/r — all recovered
+// below and compared against the analytic values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	kifmm "repro"
+)
+
+func main() {
+	const (
+		n = 6000 // collocation points on the sphere
+		a = 1.0  // sphere radius
+	)
+	pts := fibonacciSphere(n, a)
+	w := 4 * math.Pi * a * a / float64(n) // equal-area quadrature weight
+	// Local correction for the weakly singular self-patch: the integral
+	// of 1/(4πr) over a flat disc of the patch area equals ρ/2.
+	selfTerm := math.Sqrt(w/math.Pi) / 2
+
+	ev, err := kifmm.NewEvaluator(pts, pts, kifmm.Options{
+		Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	matvecs := 0
+	apply := func(dst, x []float64) {
+		// (S σ)(x_i) = Σ_j G(x_i, x_j) σ_j w_j + self correction.
+		den := make([]float64, n)
+		for i := range den {
+			den[i] = x[i] * w
+		}
+		pot, err := ev.Evaluate(den)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range dst {
+			dst[i] = pot[i] + selfTerm*x[i]
+		}
+		matvecs++
+	}
+
+	// Dirichlet data: unit potential on the conductor.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	sigma := make([]float64, n)
+	res, err := kifmm.SolveGMRES(apply, b, sigma, kifmm.SolverOptions{Tol: 1e-8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GMRES: converged=%v in %d FMM evaluations, residual %.2e\n",
+		res.Converged, res.Iterations, res.Residual)
+
+	// Total charge vs the analytic capacitance Q = 4πa.
+	q := 0.0
+	for _, s := range sigma {
+		q += s * w
+	}
+	fmt.Printf("total charge Q = %.4f   (analytic 4πa = %.4f, error %.2e)\n",
+		q, 4*math.Pi*a, math.Abs(q-4*math.Pi*a)/(4*math.Pi*a))
+
+	// Exterior potential at a few radii vs a/r.
+	den := make([]float64, n)
+	for i := range den {
+		den[i] = sigma[i] * w
+	}
+	fmt.Println("\n  r      u(r)      a/r      rel.err")
+	for _, r := range []float64{1.5, 2, 4, 8} {
+		trg := []float64{r, 0, 0}
+		u, err := kifmm.Direct(kifmm.Laplace(), trg, pts, den)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := a / r
+		fmt.Printf("%4.1f   %.5f   %.5f   %.2e\n", r, u[0], want, math.Abs(u[0]-want)/want)
+	}
+	fmt.Printf("\n%d FMM interaction evaluations total — the paper's inner loop.\n", matvecs)
+}
+
+func fibonacciSphere(n int, a float64) []float64 {
+	pts := make([]float64, 0, 3*n)
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for i := 0; i < n; i++ {
+		z := 1 - 2*(float64(i)+0.5)/float64(n)
+		r := math.Sqrt(1 - z*z)
+		th := golden * float64(i)
+		pts = append(pts, a*r*math.Cos(th), a*r*math.Sin(th), a*z)
+	}
+	return pts
+}

@@ -1,0 +1,78 @@
+// Screened Coulombic interactions (modified Laplace kernel), the
+// molecular-dynamics use case the paper's introduction motivates: ionic
+// charges in an electrolyte interact through the Yukawa potential
+// e^(-λr)/(4πεr), where 1/λ is the Debye screening length. The example
+// sweeps the screening parameter and shows how the interaction range —
+// and the far-field energy — collapses as screening strengthens, then
+// verifies the FMM against direct summation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	kifmm "repro"
+)
+
+func main() {
+	const n = 8000
+	// A slab of charges: two clustered layers, like ions near a membrane.
+	rng := rand.New(rand.NewSource(11))
+	points := make([]float64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		z := 0.35
+		if i%2 == 0 {
+			z = -0.35
+		}
+		points = append(points,
+			2*rng.Float64()-1,
+			2*rng.Float64()-1,
+			z+0.1*rng.NormFloat64(),
+		)
+	}
+	// Alternating unit charges (net neutral system).
+	charges := make([]float64, n)
+	for i := range charges {
+		if i%2 == 0 {
+			charges[i] = 1
+		} else {
+			charges[i] = -1
+		}
+	}
+
+	fmt.Println("lambda   interaction energy      FMM time     rel.err (200 samples)")
+	for _, lambda := range []float64{0.1, 1, 4, 16} {
+		k := kifmm.ModLaplace(lambda)
+		ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{
+			Kernel: k, Degree: 6, MaxPoints: 50,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pot, err := ev.Evaluate(charges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Total electrostatic energy E = 1/2 Σ q_i u_i.
+		energy := 0.0
+		for i := range pot {
+			energy += 0.5 * charges[i] * pot[i]
+		}
+		ref, err := kifmm.Direct(k, points[:600], points, charges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		num, den := 0.0, 0.0
+		for i := range ref {
+			num += (pot[i] - ref[i]) * (pot[i] - ref[i])
+			den += ref[i] * ref[i]
+		}
+		fmt.Printf("%6.1f   %+18.6f   %10v   %.2e\n",
+			lambda, energy, ev.Stats().Total().Round(1e6), math.Sqrt(num/den))
+	}
+	fmt.Println("\nStronger screening (larger lambda) kills the far field: the energy")
+	fmt.Println("approaches the near-neighbor limit while the FMM cost stays O(N) —")
+	fmt.Println("no analytic multipole expansion of the Yukawa kernel was needed.")
+}

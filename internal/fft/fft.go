@@ -1,0 +1,272 @@
+// Package fft implements complex discrete Fourier transforms of arbitrary
+// length and 3-D transforms built from them. It replaces the FFTW
+// dependency of the paper's implementation; the FMM uses it to turn M2L
+// translations into circular convolutions over the regular
+// equivalent-surface lattice (paper Section 1: "the multipole-to-local
+// translations are accelerated using local FFTs").
+//
+// The transform is a recursive mixed-radix Cooley–Tukey decomposition
+// with an O(p²) direct DFT for prime factors. The FMM always chooses
+// 5-smooth grid sizes, so every factor is 2, 3, or 5; other lengths are
+// supported (correctly but more slowly) for generality.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Plan holds the precomputed root table for transforms of one length.
+// A Plan is immutable after creation and safe for concurrent use.
+type Plan struct {
+	n       int
+	w       []complex128 // w[j] = exp(-2πi j/n)
+	winv    []complex128 // winv[j] = exp(+2πi j/n)
+	factors []int        // prime factorization of n, ascending
+	scratch int          // total gather scratch needed per transform
+}
+
+// NewPlan creates a transform plan for length n >= 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic("fft: length must be >= 1")
+	}
+	p := &Plan{n: n, w: make([]complex128, n), winv: make([]complex128, n)}
+	for j := 0; j < n; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.w[j] = complex(c, s)
+		p.winv[j] = complex(c, -s)
+	}
+	for m := n; m > 1; {
+		f := smallestFactor(m)
+		p.factors = append(p.factors, f)
+		p.scratch += f
+		m /= f
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes dst = DFT(src) (negative exponent, unscaled).
+// dst and src must both have length n and must not alias.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.check(dst, src)
+	buf := make([]complex128, p.scratch)
+	p.rec(dst, src, p.n, 1, 1, p.w, 0, buf)
+}
+
+// Inverse computes dst = IDFT(src), scaled by 1/n so that
+// Inverse(Forward(x)) == x. dst and src must not alias.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.check(dst, src)
+	buf := make([]complex128, p.scratch)
+	p.rec(dst, src, p.n, 1, 1, p.winv, 0, buf)
+	inv := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+func (p *Plan) check(dst, src []complex128) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic("fft: slice length does not match plan")
+	}
+	if p.n > 0 && &dst[0] == &src[0] {
+		panic("fft: dst must not alias src")
+	}
+}
+
+// rec computes an n-point DFT of src (elements src[0], src[stride], ...)
+// into dst (contiguous). wstep is N/n where N is the plan length; depth
+// indexes into the factor list; buf is shared gather scratch partitioned
+// by recursion depth.
+func (p *Plan) rec(dst, src []complex128, n, stride, wstep int, w []complex128, depth int, buf []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	f := p.factors[depth]
+	m := n / f
+	if m == 1 {
+		// Direct DFT for a prime length.
+		for k := 0; k < n; k++ {
+			s := complex(0, 0)
+			for j := 0; j < n; j++ {
+				s += src[j*stride] * w[(j*k%n)*wstep]
+			}
+			dst[k] = s
+		}
+		return
+	}
+	// Decimation in time: f interleaved sub-transforms of length m.
+	for a := 0; a < f; a++ {
+		p.rec(dst[a*m:(a+1)*m], src[a*stride:], m, stride*f, wstep*f, w, depth+1, buf)
+	}
+	// Combine with f-point butterflies: for output index k = c + d*m,
+	// X[k] = Σ_a w_n^{a k} Y_a[c].
+	g := buf[:f]
+	buf = buf[f:]
+	_ = buf
+	for c := 0; c < m; c++ {
+		for a := 0; a < f; a++ {
+			g[a] = dst[a*m+c]
+		}
+		for d := 0; d < f; d++ {
+			k := c + d*m
+			s := g[0]
+			for a := 1; a < f; a++ {
+				s += g[a] * w[(a*k%n)*wstep]
+			}
+			dst[k] = s
+		}
+	}
+}
+
+func smallestFactor(n int) int {
+	if n%2 == 0 {
+		return 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// NextSmooth returns the smallest 5-smooth integer (only prime factors
+// 2, 3, 5) greater than or equal to n. The FMM picks convolution grid
+// sizes with it so that every FFT factor has a fast butterfly.
+func NextSmooth(n int) int {
+	if n < 1 {
+		return 1
+	}
+	for m := n; ; m++ {
+		k := m
+		for _, f := range []int{2, 3, 5} {
+			for k%f == 0 {
+				k /= f
+			}
+		}
+		if k == 1 {
+			return m
+		}
+	}
+}
+
+// Plan3 performs 3-D transforms on row-major data indexed [x][y][z]
+// (z fastest). It is immutable and safe for concurrent use.
+type Plan3 struct {
+	nx, ny, nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3 creates a 3-D plan for an nx x ny x nz grid.
+func NewPlan3(nx, ny, nz int) *Plan3 {
+	p3 := &Plan3{nx: nx, ny: ny, nz: nz, px: NewPlan(nx)}
+	p3.py = p3.px
+	if ny != nx {
+		p3.py = NewPlan(ny)
+	}
+	switch nz {
+	case nx:
+		p3.pz = p3.px
+	case ny:
+		p3.pz = p3.py
+	default:
+		p3.pz = NewPlan(nz)
+	}
+	return p3
+}
+
+// Size returns the total number of grid points nx*ny*nz.
+func (p *Plan3) Size() int { return p.nx * p.ny * p.nz }
+
+// Forward computes the in-place 3-D forward DFT of x (length Size).
+func (p *Plan3) Forward(x []complex128) { p.apply(x, false) }
+
+// Inverse computes the in-place 3-D inverse DFT of x, scaled by 1/Size.
+func (p *Plan3) Inverse(x []complex128) { p.apply(x, true) }
+
+func (p *Plan3) apply(x []complex128, inverse bool) {
+	if len(x) != p.Size() {
+		panic("fft: grid length does not match 3-D plan")
+	}
+	maxN := p.nx
+	if p.ny > maxN {
+		maxN = p.ny
+	}
+	if p.nz > maxN {
+		maxN = p.nz
+	}
+	in := make([]complex128, maxN)
+	out := make([]complex128, maxN)
+	line := func(pl *Plan, base, stride, n int) {
+		for i := 0; i < n; i++ {
+			in[i] = x[base+i*stride]
+		}
+		if inverse {
+			pl.Inverse(out[:n], in[:n])
+		} else {
+			pl.Forward(out[:n], in[:n])
+		}
+		for i := 0; i < n; i++ {
+			x[base+i*stride] = out[i]
+		}
+	}
+	// Along z (contiguous).
+	for ix := 0; ix < p.nx; ix++ {
+		for iy := 0; iy < p.ny; iy++ {
+			line(p.pz, (ix*p.ny+iy)*p.nz, 1, p.nz)
+		}
+	}
+	// Along y.
+	for ix := 0; ix < p.nx; ix++ {
+		for iz := 0; iz < p.nz; iz++ {
+			line(p.py, ix*p.ny*p.nz+iz, p.nz, p.ny)
+		}
+	}
+	// Along x.
+	for iy := 0; iy < p.ny; iy++ {
+		for iz := 0; iz < p.nz; iz++ {
+			line(p.px, iy*p.nz+iz, p.ny*p.nz, p.nx)
+		}
+	}
+}
+
+// Convolve3 returns the circular convolution c[t] = Σ_s a[(t-s) mod n] b[s]
+// of two cubic grids with side n, computed by direct summation. It is the
+// reference implementation used to validate the Fourier-space path.
+func Convolve3(a, b []complex128, n int) []complex128 {
+	c := make([]complex128, n*n*n)
+	idx := func(x, y, z int) int { return (x*n+y)*n + z }
+	for tx := 0; tx < n; tx++ {
+		for ty := 0; ty < n; ty++ {
+			for tz := 0; tz < n; tz++ {
+				s := complex(0, 0)
+				for sx := 0; sx < n; sx++ {
+					for sy := 0; sy < n; sy++ {
+						for sz := 0; sz < n; sz++ {
+							s += a[idx(mod(tx-sx, n), mod(ty-sy, n), mod(tz-sz, n))] * b[idx(sx, sy, sz)]
+						}
+					}
+				}
+				c[idx(tx, ty, tz)] = s
+			}
+		}
+	}
+	return c
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// Abs returns |z| (convenience re-export used by tests and the harness).
+func Abs(z complex128) float64 { return cmplx.Abs(z) }

@@ -1,0 +1,271 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		s := complex(0, 0)
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j*k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Cover powers of two, mixed radix, primes, and awkward composites.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 17, 24, 30, 31, 36, 49, 60, 64, 100} {
+		p := NewPlan(n)
+		x := randomSignal(rng, n)
+		got := make([]complex128, n)
+		p.Forward(got, x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %v", n, e)
+		}
+	}
+}
+
+func TestInverseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 7, 12, 16, 45, 128} {
+		p := NewPlan(n)
+		x := randomSignal(rng, n)
+		f := make([]complex128, n)
+		back := make([]complex128, n)
+		p.Forward(f, x)
+		p.Inverse(back, f)
+		if e := maxErr(back, x); e > 1e-11*float64(n) {
+			t.Errorf("n=%d: roundtrip error %v", n, e)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	p := NewPlan(n)
+	x := randomSignal(rng, n)
+	y := randomSignal(rng, n)
+	alpha := complex(1.5, -0.5)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = x[i] + alpha*y[i]
+	}
+	fx := make([]complex128, n)
+	fy := make([]complex128, n)
+	fs := make([]complex128, n)
+	p.Forward(fx, x)
+	p.Forward(fy, y)
+	p.Forward(fs, sum)
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(fx[i]+alpha*fy[i])) > 1e-10 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestParsevalEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	p := NewPlan(n)
+	x := randomSignal(rng, n)
+	f := make([]complex128, n)
+	p.Forward(f, x)
+	et, ef := 0.0, 0.0
+	for i := range x {
+		et += real(x[i] * cmplx.Conj(x[i]))
+		ef += real(f[i] * cmplx.Conj(f[i]))
+	}
+	if math.Abs(ef-float64(n)*et) > 1e-9*ef {
+		t.Errorf("Parseval: freq energy %v, n*time energy %v", ef, float64(n)*et)
+	}
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	n := 30
+	p := NewPlan(n)
+	x := make([]complex128, n)
+	x[0] = 1
+	f := make([]complex128, n)
+	p.Forward(f, x)
+	for i, v := range f {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestConvolutionTheorem1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 12
+	p := NewPlan(n)
+	a := randomSignal(rng, n)
+	b := randomSignal(rng, n)
+	// Direct circular convolution.
+	direct := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			direct[k] += a[mod(k-j, n)] * b[j]
+		}
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	p.Forward(fa, a)
+	p.Forward(fb, b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	viaFFT := make([]complex128, n)
+	p.Inverse(viaFFT, fa)
+	if e := maxErr(direct, viaFFT); e > 1e-10 {
+		t.Errorf("convolution theorem error %v", e)
+	}
+}
+
+func TestPlan3RoundtripAndConvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 6
+	p3 := NewPlan3(n, n, n)
+	a := randomSignal(rng, n*n*n)
+	b := randomSignal(rng, n*n*n)
+	// Roundtrip.
+	work := append([]complex128(nil), a...)
+	p3.Forward(work)
+	p3.Inverse(work)
+	if e := maxErr(work, a); e > 1e-10 {
+		t.Fatalf("3-D roundtrip error %v", e)
+	}
+	// Convolution theorem in 3-D against the direct reference.
+	direct := Convolve3(a, b, n)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	p3.Forward(fa)
+	p3.Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p3.Inverse(fa)
+	if e := maxErr(direct, fa); e > 1e-9 {
+		t.Errorf("3-D convolution theorem error %v", e)
+	}
+}
+
+func TestPlan3AnisotropicRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p3 := NewPlan3(4, 6, 5)
+	x := randomSignal(rng, 4*6*5)
+	work := append([]complex128(nil), x...)
+	p3.Forward(work)
+	p3.Inverse(work)
+	if e := maxErr(work, x); e > 1e-10 {
+		t.Errorf("anisotropic roundtrip error %v", e)
+	}
+}
+
+func TestNextSmooth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 7: 8, 11: 12, 13: 15, 16: 16, 17: 18, 31: 32, 121: 125}
+	for in, want := range cases {
+		if got := NextSmooth(in); got != want {
+			t.Errorf("NextSmooth(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if NextSmooth(0) != 1 {
+		t.Error("NextSmooth(0) must be 1")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	p := NewPlan(8)
+	x := make([]complex128, 8)
+	for _, f := range []func(){
+		func() { p.Forward(make([]complex128, 7), x) },
+		func() { p.Forward(x, x) },
+		func() { NewPlan(0) },
+		func() { NewPlan3(2, 2, 2).Forward(make([]complex128, 7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlanConcurrencySafety(t *testing.T) {
+	p := NewPlan(36)
+	rng := rand.New(rand.NewSource(8))
+	x := randomSignal(rng, 36)
+	want := make([]complex128, 36)
+	p.Forward(want, x)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			got := make([]complex128, 36)
+			for i := 0; i < 50; i++ {
+				p.Forward(got, x)
+			}
+			done <- maxErr(got, want) == 0
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent transforms disagree")
+		}
+	}
+}
+
+func BenchmarkForward12(b *testing.B)   { benchForward(b, 12) }
+func BenchmarkForward64(b *testing.B)   { benchForward(b, 64) }
+func BenchmarkForward3D12(b *testing.B) { benchForward3D(b, 12) }
+
+func benchForward(b *testing.B, n int) {
+	p := NewPlan(n)
+	x := randomSignal(rand.New(rand.NewSource(1)), n)
+	dst := make([]complex128, n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(dst, x)
+	}
+}
+
+func benchForward3D(b *testing.B, n int) {
+	p := NewPlan3(n, n, n)
+	x := randomSignal(rand.New(rand.NewSource(1)), n*n*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

@@ -1,0 +1,423 @@
+// Package fmm implements the sequential adaptive kernel-independent FMM
+// (paper Section 2): the upward pass builds upward equivalent densities
+// (S2M at leaves, M2M up the tree), the downward pass accumulates
+// downward check potentials from the V (M2L), X (S2L) lists and the
+// parent (L2L), inverts them into downward equivalent densities, and the
+// leaf evaluation combines the U list (direct), W list (M2T) and the
+// local expansion (L2T).
+//
+// The engine records per-stage wall time and flop counts matching the
+// stages the paper charts in Figures 4.2/4.3 (Up, DownU, DownV, DownW,
+// DownX, Eval).
+package fmm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/translate"
+	"repro/internal/tree"
+)
+
+// M2LBackend selects how V-list translations are computed.
+type M2LBackend int
+
+const (
+	// M2LFFT uses the Fourier-space convolution path (the paper's
+	// default; footnote 5 notes direct evaluation has higher flop rates
+	// but loses algorithmically).
+	M2LFFT M2LBackend = iota
+	// M2LDense applies cached dense translation matrices.
+	M2LDense
+)
+
+// Options configure an Evaluator.
+type Options struct {
+	// Kernel is the interaction kernel (required).
+	Kernel kernels.Kernel
+	// Degree is the equivalent-surface degree p (default 6, ~1e-5
+	// relative error for the Laplace kernel; use 8 for ~1e-7).
+	Degree int
+	// MaxPoints is the leaf threshold s (default 60, the paper's usual
+	// value; its largest runs use 120).
+	MaxPoints int
+	// MaxDepth caps the octree depth.
+	MaxDepth int
+	// Backend selects the M2L path (default M2LFFT).
+	Backend M2LBackend
+	// PinvTol is the pseudo-inverse truncation (default 1e-10).
+	PinvTol float64
+}
+
+// Stats aggregates per-stage timings and flop counts of one evaluation,
+// mirroring the stage breakdown of the paper's Figures 4.2/4.3.
+type Stats struct {
+	Up, DownU, DownV, DownW, DownX, Eval time.Duration
+	FlopsUp, FlopsDownU, FlopsDownV,
+	FlopsDownW, FlopsDownX, FlopsEval int64
+}
+
+// Total returns the summed wall time of all stages.
+func (s Stats) Total() time.Duration {
+	return s.Up + s.DownU + s.DownV + s.DownW + s.DownX + s.Eval
+}
+
+// Flops returns the total flop count.
+func (s Stats) Flops() int64 {
+	return s.FlopsUp + s.FlopsDownU + s.FlopsDownV + s.FlopsDownW + s.FlopsDownX + s.FlopsEval
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Up += o.Up
+	s.DownU += o.DownU
+	s.DownV += o.DownV
+	s.DownW += o.DownW
+	s.DownX += o.DownX
+	s.Eval += o.Eval
+	s.FlopsUp += o.FlopsUp
+	s.FlopsDownU += o.FlopsDownU
+	s.FlopsDownV += o.FlopsDownV
+	s.FlopsDownW += o.FlopsDownW
+	s.FlopsDownX += o.FlopsDownX
+	s.FlopsEval += o.FlopsEval
+}
+
+// Evaluator computes potentials induced by source densities. Build once,
+// evaluate many times (the paper's applications run tens to hundreds of
+// interaction evaluations per tree).
+type Evaluator struct {
+	Tree *tree.Tree
+	Ops  *translate.Set
+	opt  Options
+	fft  *translate.FFTM2L
+
+	stats Stats
+}
+
+// New builds the octree over src and trg (flat x,y,z slices, which may be
+// the same set, as in the paper's experiments) and prepares the
+// translation operators.
+func New(src, trg []float64, opt Options) (*Evaluator, error) {
+	if opt.Kernel == nil {
+		return nil, fmt.Errorf("fmm: Options.Kernel is required")
+	}
+	if opt.Degree == 0 {
+		opt.Degree = 6
+	}
+	if opt.MaxPoints == 0 {
+		opt.MaxPoints = 60
+	}
+	if opt.PinvTol == 0 {
+		opt.PinvTol = 1e-10
+	}
+	tr, err := tree.Build(src, trg, tree.Config{MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth})
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(tr, opt)
+}
+
+// FromTree wraps an existing octree (used by the parallel driver, which
+// builds its local essential tree separately).
+func FromTree(tr *tree.Tree, opt Options) (*Evaluator, error) {
+	if opt.Degree == 0 {
+		opt.Degree = 6
+	}
+	if opt.PinvTol == 0 {
+		opt.PinvTol = 1e-10
+	}
+	ops, err := translate.NewSet(opt.Kernel, opt.Degree, tr.HalfWidth, opt.PinvTol)
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{Tree: tr, Ops: ops, opt: opt}
+	if opt.Backend == M2LFFT {
+		e.fft = translate.NewFFTM2L(ops)
+	}
+	return e, nil
+}
+
+// Stats returns the stage breakdown of the most recent Evaluate call.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// Evaluate computes pot[i] = Σ_j G(trg_i, src_j) den_j for all targets.
+// den holds SourceDim components per source in the original input order;
+// the result has TargetDim components per target in input order.
+func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
+	k := e.opt.Kernel
+	sd, td := k.SourceDim(), k.TargetDim()
+	t := e.Tree
+	nSrc := len(t.SrcPoints) / 3
+	nTrg := len(t.TrgPoints) / 3
+	if len(den) != nSrc*sd {
+		return nil, fmt.Errorf("fmm: density length %d, want %d", len(den), nSrc*sd)
+	}
+	e.stats = Stats{}
+	// Permute densities into Morton order.
+	pden := make([]float64, len(den))
+	for i, orig := range t.SrcPerm {
+		o := int(orig)
+		copy(pden[i*sd:(i+1)*sd], den[o*sd:(o+1)*sd])
+	}
+	ppot := make([]float64, nTrg*td)
+
+	phiU := e.upwardPass(pden)
+	phiD := e.downwardPass(phiU, pden)
+	e.leafEvaluation(phiU, phiD, pden, ppot)
+
+	// Un-permute potentials to input order.
+	pot := make([]float64, len(ppot))
+	for i, orig := range t.TrgPerm {
+		o := int(orig)
+		copy(pot[o*td:(o+1)*td], ppot[i*td:(i+1)*td])
+	}
+	return pot, nil
+}
+
+// upwardPass computes upward equivalent densities for every box that
+// contains sources, deepest level first (S2M at leaves, M2M inside).
+func (e *Evaluator) upwardPass(pden []float64) [][]float64 {
+	start := time.Now()
+	t := e.Tree
+	k := e.opt.Kernel
+	sd := k.SourceDim()
+	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
+	phiU := make([][]float64, len(t.Boxes))
+	check := make([]float64, nc)
+	ucPts := make([]float64, 3*e.Ops.Surf.N)
+	for l := t.Depth() - 1; l >= 0; l-- {
+		r := t.BoxHalfWidth(l)
+		for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+			b := &t.Boxes[bi]
+			if b.SrcCount == 0 {
+				continue
+			}
+			for i := range check {
+				check[i] = 0
+			}
+			if b.Leaf {
+				src := t.SrcSlice(int32(bi))
+				dslice := pden[b.SrcStart*sd : (b.SrcStart+b.SrcCount)*sd]
+				e.Ops.UpwardCheckPoints(t.BoxCenter(int32(bi)), r, ucPts)
+				kernels.P2P(k, ucPts, src, dslice, check)
+				e.stats.FlopsUp += kernels.P2PFlops(k, e.Ops.Surf.N, b.SrcCount)
+			} else {
+				for o, ci := range b.Children {
+					if ci == tree.Nil || phiU[ci] == nil {
+						continue
+					}
+					e.Ops.M2M(l, o).Apply(check, phiU[ci])
+					e.stats.FlopsUp += int64(2 * nc * ne)
+				}
+			}
+			phi := make([]float64, ne)
+			e.Ops.UpwardPinv(l).Apply(phi, check)
+			e.stats.FlopsUp += int64(2 * ne * nc)
+			phiU[bi] = phi
+		}
+	}
+	e.stats.Up = time.Since(start)
+	return phiU
+}
+
+// downwardPass accumulates downward check potentials level by level
+// (M2L from the V list, S2L from the X list, L2L from the parent) and
+// inverts them into downward equivalent densities.
+func (e *Evaluator) downwardPass(phiU [][]float64, pden []float64) [][]float64 {
+	t := e.Tree
+	k := e.opt.Kernel
+	sd := k.SourceDim()
+	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
+	phiD := make([][]float64, len(t.Boxes))
+	if t.Depth() <= 2 {
+		return phiD
+	}
+	checks := make([][]float64, len(t.Boxes))
+	dcPts := make([]float64, 3*e.Ops.Surf.N)
+	getCheck := func(bi int32) []float64 {
+		if checks[bi] == nil {
+			checks[bi] = make([]float64, nc)
+		}
+		return checks[bi]
+	}
+	for l := 2; l < t.Depth(); l++ {
+		// V list: M2L translations, batched per level.
+		startV := time.Now()
+		if e.fft != nil {
+			e.applyM2LFFT(l, phiU, checks, getCheck)
+		} else {
+			e.applyM2LDense(l, phiU, getCheck)
+		}
+		e.stats.DownV += time.Since(startV)
+		for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+			b := &t.Boxes[bi]
+			if b.TrgCount == 0 {
+				// No targets anywhere below: the local expansion is
+				// useless. (Pruned boxes always have points, but a box
+				// can hold sources only.)
+				continue
+			}
+			// X list: sources of coarser leaves evaluated directly on the
+			// DC surface (S2L).
+			if len(b.X) > 0 {
+				startX := time.Now()
+				check := getCheck(int32(bi))
+				e.Ops.DownwardCheckPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(l), dcPts)
+				for _, a := range b.X {
+					ab := &t.Boxes[a]
+					src := t.SrcSlice(a)
+					dslice := pden[ab.SrcStart*sd : (ab.SrcStart+ab.SrcCount)*sd]
+					kernels.P2P(k, dcPts, src, dslice, check)
+					e.stats.FlopsDownX += kernels.P2PFlops(k, e.Ops.Surf.N, ab.SrcCount)
+				}
+				e.stats.DownX += time.Since(startX)
+			}
+			// L2L from the parent's downward density.
+			startE := time.Now()
+			if p := b.Parent; p != tree.Nil && phiD[p] != nil {
+				check := getCheck(int32(bi))
+				e.Ops.L2L(l-1, b.Key.Octant()).Apply(check, phiD[p])
+				e.stats.FlopsEval += int64(2 * nc * ne)
+			}
+			if checks[bi] != nil {
+				phi := make([]float64, ne)
+				e.Ops.DownwardPinv(l).Apply(phi, checks[bi])
+				e.stats.FlopsEval += int64(2 * ne * nc)
+				phiD[bi] = phi
+			}
+			e.stats.Eval += time.Since(startE)
+		}
+	}
+	return phiD
+}
+
+// applyM2LDense applies cached dense M2L operators box by box.
+func (e *Evaluator) applyM2LDense(l int, phiU [][]float64, getCheck func(int32) []float64) {
+	t := e.Tree
+	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
+	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+		b := &t.Boxes[bi]
+		if b.TrgCount == 0 || len(b.V) == 0 {
+			continue
+		}
+		check := getCheck(int32(bi))
+		bx, by, bz := b.Key.Decode()
+		for _, a := range b.V {
+			if phiU[a] == nil {
+				continue
+			}
+			ax, ay, az := t.Boxes[a].Key.Decode()
+			off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
+			e.Ops.M2LDirect(l, off).Apply(check, phiU[a])
+			e.stats.FlopsDownV += int64(2 * nc * ne)
+		}
+	}
+}
+
+// applyM2LFFT batches the level's V-list translations through the
+// Fourier path: one forward FFT per contributing source box, Hadamard
+// accumulation per (target, source) pair, one inverse FFT per target.
+func (e *Evaluator) applyM2LFFT(l int, phiU [][]float64, checks [][]float64, getCheck func(int32) []float64) {
+	t := e.Tree
+	k := e.opt.Kernel
+	sd, td := k.SourceDim(), k.TargetDim()
+	gl := e.fft.GridLen()
+	// Forward-transform every source box used by some V list at this level.
+	used := make(map[int32]bool)
+	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+		b := &t.Boxes[bi]
+		if b.TrgCount == 0 {
+			continue
+		}
+		for _, a := range b.V {
+			if phiU[a] != nil {
+				used[a] = true
+			}
+		}
+	}
+	grids := make(map[int32][][]complex128, len(used))
+	for a := range used {
+		g := e.fft.NewSourceGrids()
+		e.fft.ForwardDensity(phiU[a], g)
+		grids[a] = g
+		e.stats.FlopsDownV += int64(5 * gl * sd) // ~5 n log n per grid
+	}
+	acc := e.fft.NewAccumulator()
+	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+		b := &t.Boxes[bi]
+		if b.TrgCount == 0 || len(b.V) == 0 {
+			continue
+		}
+		e.fft.ResetAccumulator(acc)
+		bx, by, bz := b.Key.Decode()
+		any := false
+		for _, a := range b.V {
+			g, ok := grids[a]
+			if !ok {
+				continue
+			}
+			ax, ay, az := t.Boxes[a].Key.Decode()
+			off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
+			e.fft.Accumulate(acc, g, l, off)
+			e.stats.FlopsDownV += int64(8 * gl * sd * td)
+			any = true
+		}
+		if any {
+			e.fft.Extract(acc, getCheck(int32(bi)))
+			e.stats.FlopsDownV += int64(5 * gl * td)
+		}
+	}
+}
+
+// leafEvaluation computes target potentials at every leaf: direct U-list
+// interactions, W-list M2T evaluations and the local expansion (L2T).
+func (e *Evaluator) leafEvaluation(phiU, phiD [][]float64, pden, ppot []float64) {
+	t := e.Tree
+	k := e.opt.Kernel
+	sd, td := k.SourceDim(), k.TargetDim()
+	surfPts := make([]float64, 3*e.Ops.Surf.N)
+	for bi := range t.Boxes {
+		b := &t.Boxes[bi]
+		if !b.Leaf || b.TrgCount == 0 {
+			continue
+		}
+		trg := t.TrgSlice(int32(bi))
+		pot := ppot[b.TrgStart*td : (b.TrgStart+b.TrgCount)*td]
+		// U list: direct interactions with adjacent leaves (and itself).
+		startU := time.Now()
+		for _, u := range b.U {
+			ub := &t.Boxes[u]
+			if ub.SrcCount == 0 {
+				continue
+			}
+			src := t.SrcSlice(u)
+			dslice := pden[ub.SrcStart*sd : (ub.SrcStart+ub.SrcCount)*sd]
+			kernels.P2P(k, trg, src, dslice, pot)
+			e.stats.FlopsDownU += kernels.P2PFlops(k, b.TrgCount, ub.SrcCount)
+		}
+		e.stats.DownU += time.Since(startU)
+		// W list: far small boxes evaluated from their upward equivalent
+		// densities (M2T).
+		startW := time.Now()
+		for _, w := range b.W {
+			if phiU[w] == nil {
+				continue
+			}
+			wb := &t.Boxes[w]
+			e.Ops.UpwardEquivPoints(t.BoxCenter(w), t.BoxHalfWidth(wb.Level()), surfPts)
+			kernels.P2P(k, trg, surfPts, phiU[w], pot)
+			e.stats.FlopsDownW += kernels.P2PFlops(k, b.TrgCount, e.Ops.Surf.N)
+		}
+		e.stats.DownW += time.Since(startW)
+		// L2T: evaluate the downward equivalent density at the targets.
+		startE := time.Now()
+		if phiD[bi] != nil {
+			e.Ops.DownwardEquivPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(b.Level()), surfPts)
+			kernels.P2P(k, trg, surfPts, phiD[bi], pot)
+			e.stats.FlopsEval += kernels.P2PFlops(k, b.TrgCount, e.Ops.Surf.N)
+		}
+		e.stats.Eval += time.Since(startE)
+	}
+}

@@ -1,0 +1,72 @@
+package kernels
+
+import "math"
+
+// Kelvin is the Kelvin solution (Kelvinlet), the free-space Green's
+// function of 3-D linear elastostatics -μΔu - μ/(1-2ν) ∇(∇·u) = 0:
+//
+//	S_ij(x,y) = 1/(16πμ(1-ν)) * [ (3-4ν) δ_ij / r + r_i r_j / r³ ]
+//
+// The paper's introduction names "simulations of linearly elastic
+// materials" and "fracture mechanics" among the applications the
+// kernel-independent method enables (cf. [6], [19], [26] there); no
+// analytic multipole expansion of this tensor kernel is needed — it
+// plugs into the FMM through Eval alone, exactly the point of the
+// method. At ν = 1/2 it reduces (up to the constant) to the Stokeslet.
+type Kelvin struct {
+	// Mu is the shear modulus μ > 0.
+	Mu float64
+	// Nu is Poisson's ratio ν in (-1, 1/2].
+	Nu float64
+}
+
+// NewKelvin returns the Kelvin elasticity kernel.
+func NewKelvin(mu, nu float64) Kelvin {
+	if mu <= 0 {
+		panic("kernels: Kelvin requires mu > 0")
+	}
+	if nu <= -1 || nu > 0.5 {
+		panic("kernels: Kelvin requires -1 < nu <= 1/2")
+	}
+	return Kelvin{Mu: mu, Nu: nu}
+}
+
+// Name implements Kernel.
+func (Kelvin) Name() string { return "kelvin" }
+
+// SourceDim implements Kernel.
+func (Kelvin) SourceDim() int { return 3 }
+
+// TargetDim implements Kernel.
+func (Kelvin) TargetDim() int { return 3 }
+
+// Homogeneity implements Kernel: both terms scale as 1/r.
+func (Kelvin) Homogeneity() (bool, float64) { return true, -1 }
+
+// FlopCost implements Kernel.
+func (Kelvin) FlopCost() int { return 30 }
+
+// Eval implements Kernel.
+func (k Kelvin) Eval(rx, ry, rz float64, out []float64) {
+	r2 := rx*rx + ry*ry + rz*rz
+	if r2 == 0 {
+		for i := range out[:9] {
+			out[i] = 0
+		}
+		return
+	}
+	c := 1.0 / (16 * math.Pi * k.Mu * (1 - k.Nu))
+	a := 3 - 4*k.Nu
+	inv := 1 / math.Sqrt(r2)
+	inv3 := inv * inv * inv
+	diag := c * a * inv
+	out[0] = diag + c*inv3*rx*rx
+	out[1] = c * inv3 * rx * ry
+	out[2] = c * inv3 * rx * rz
+	out[3] = out[1]
+	out[4] = diag + c*inv3*ry*ry
+	out[5] = c * inv3 * ry * rz
+	out[6] = out[2]
+	out[7] = out[5]
+	out[8] = diag + c*inv3*rz*rz
+}

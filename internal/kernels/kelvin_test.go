@@ -1,0 +1,79 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKelvinSymmetryAndPositivity(t *testing.T) {
+	k := NewKelvin(1, 0.3)
+	var g [9]float64
+	k.Eval(0.4, -0.2, 0.7, g[:])
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if g[3*i+j] != g[3*j+i] {
+				t.Fatalf("Kelvin tensor must be symmetric")
+			}
+		}
+		if g[3*i+i] <= 0 {
+			t.Fatalf("Kelvin diagonal must be positive")
+		}
+	}
+}
+
+func TestKelvinReducesToStokesAtHalf(t *testing.T) {
+	// At nu = 1/2: S_ij = 1/(8πμ)[δ_ij/r + r_i r_j/r³] — the Stokeslet.
+	mu := 0.8
+	kel := NewKelvin(mu, 0.5)
+	sto := NewStokes(mu)
+	rng := rand.New(rand.NewSource(1))
+	var a, b [9]float64
+	for trial := 0; trial < 30; trial++ {
+		rx, ry, rz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		kel.Eval(rx, ry, rz, a[:])
+		sto.Eval(rx, ry, rz, b[:])
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-14*(math.Abs(b[i])+1) {
+				t.Fatalf("Kelvin(nu=1/2) != Stokeslet at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestKelvinHomogeneity(t *testing.T) {
+	k := NewKelvin(2, 0.25)
+	hom, deg := k.Homogeneity()
+	if !hom || deg != -1 {
+		t.Fatal("Kelvin must be homogeneous of degree -1")
+	}
+	var a, b [9]float64
+	k.Eval(0.3, 0.1, -0.2, a[:])
+	s := 2.5
+	k.Eval(s*0.3, s*0.1, -s*0.2, b[:])
+	for i := range a {
+		if math.Abs(b[i]-a[i]/s) > 1e-14 {
+			t.Fatalf("homogeneity violated at %d", i)
+		}
+	}
+}
+
+func TestKelvinValidation(t *testing.T) {
+	mustPanic(t, func() { NewKelvin(0, 0.3) })
+	mustPanic(t, func() { NewKelvin(1, 0.6) })
+	mustPanic(t, func() { NewKelvin(1, -1) })
+}
+
+func TestKelvinZeroSelf(t *testing.T) {
+	k := NewKelvin(1, 0.3)
+	var g [9]float64
+	for i := range g {
+		g[i] = math.NaN()
+	}
+	k.Eval(0, 0, 0, g[:])
+	for _, v := range g {
+		if v != 0 {
+			t.Fatal("self block must be zero")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package kernels
+
+import "math"
+
+// P2P accumulates the direct particle-to-particle interaction
+//
+//	pot[i] += Σ_j G(trg_i, src_j) den_j
+//
+// into pot. Positions are flat (x0,y0,z0,x1,...) slices; den has
+// SourceDim components per source and pot has TargetDim components per
+// target. Self interactions (zero displacement) contribute nothing.
+//
+// The Laplace and Stokes kernels dispatch to hand-unrolled inner loops;
+// every other kernel goes through the generic Eval path. Both paths
+// produce identical results (see TestP2PSpecializationsAgree).
+func P2P(k Kernel, trg, src, den, pot []float64) {
+	switch kk := k.(type) {
+	case Laplace:
+		laplaceP2P(trg, src, den, pot)
+	case Stokes:
+		stokesP2P(kk.Mu, trg, src, den, pot)
+	case ModLaplace:
+		modLaplaceP2P(kk.Lambda, trg, src, den, pot)
+	default:
+		GenericP2P(k, trg, src, den, pot)
+	}
+}
+
+// GenericP2P is the kernel-agnostic direct interaction loop used by P2P
+// for kernels without a specialized implementation. It is exported so
+// tests can verify the specialized loops against it.
+func GenericP2P(k Kernel, trg, src, den, pot []float64) {
+	sd, td := k.SourceDim(), k.TargetDim()
+	block := make([]float64, sd*td)
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		for j := 0; j < ns; j++ {
+			k.Eval(tx-src[3*j], ty-src[3*j+1], tz-src[3*j+2], block)
+			for a := 0; a < td; a++ {
+				s := 0.0
+				for b := 0; b < sd; b++ {
+					s += block[a*sd+b] * den[j*sd+b]
+				}
+				pot[i*td+a] += s
+			}
+		}
+	}
+}
+
+func laplaceP2P(trg, src, den, pot []float64) {
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		sum := 0.0
+		for j := 0; j < ns; j++ {
+			rx := tx - src[3*j]
+			ry := ty - src[3*j+1]
+			rz := tz - src[3*j+2]
+			r2 := rx*rx + ry*ry + rz*rz
+			if r2 == 0 {
+				continue
+			}
+			sum += den[j] / math.Sqrt(r2)
+		}
+		pot[i] += fourPiInv * sum
+	}
+}
+
+func modLaplaceP2P(lambda float64, trg, src, den, pot []float64) {
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		sum := 0.0
+		for j := 0; j < ns; j++ {
+			rx := tx - src[3*j]
+			ry := ty - src[3*j+1]
+			rz := tz - src[3*j+2]
+			r2 := rx*rx + ry*ry + rz*rz
+			if r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			sum += den[j] * math.Exp(-lambda*r) / r
+		}
+		pot[i] += fourPiInv * sum
+	}
+}
+
+func stokesP2P(mu float64, trg, src, den, pot []float64) {
+	c := 1.0 / (8 * math.Pi * mu)
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		var sx, sy, sz float64
+		for j := 0; j < ns; j++ {
+			rx := tx - src[3*j]
+			ry := ty - src[3*j+1]
+			rz := tz - src[3*j+2]
+			r2 := rx*rx + ry*ry + rz*rz
+			if r2 == 0 {
+				continue
+			}
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv * inv * inv
+			fx, fy, fz := den[3*j], den[3*j+1], den[3*j+2]
+			rdotf := rx*fx + ry*fy + rz*fz
+			sx += inv*fx + inv3*rdotf*rx
+			sy += inv*fy + inv3*rdotf*ry
+			sz += inv*fz + inv3*rdotf*rz
+		}
+		pot[3*i] += c * sx
+		pot[3*i+1] += c * sy
+		pot[3*i+2] += c * sz
+	}
+}
+
+// Matrix fills out (row-major, nt*TargetDim rows by ns*SourceDim columns)
+// with the dense interaction matrix between the target points trg and the
+// source points src, so that pot = out * den reproduces P2P. out must
+// have length (nt*td)*(ns*sd).
+func Matrix(k Kernel, trg, src, out []float64) {
+	sd, td := k.SourceDim(), k.TargetDim()
+	nt, ns := len(trg)/3, len(src)/3
+	cols := ns * sd
+	block := make([]float64, sd*td)
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		for j := 0; j < ns; j++ {
+			k.Eval(tx-src[3*j], ty-src[3*j+1], tz-src[3*j+2], block)
+			for a := 0; a < td; a++ {
+				row := (i*td + a) * cols
+				for b := 0; b < sd; b++ {
+					out[row+j*sd+b] = block[a*sd+b]
+				}
+			}
+		}
+	}
+}
+
+// P2PFlops returns the approximate flop count of one P2P call with nt
+// targets and ns sources for kernel k.
+func P2PFlops(k Kernel, nt, ns int) int64 {
+	return int64(nt) * int64(ns) * int64(k.FlopCost()+2*k.SourceDim()*k.TargetDim())
+}

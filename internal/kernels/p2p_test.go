@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomCloud(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, 3*n)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+func TestP2PSpecializationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range allKernels() {
+		nt, ns := 13, 17
+		trg := randomCloud(rng, nt)
+		src := randomCloud(rng, ns)
+		den := make([]float64, ns*k.SourceDim())
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		fast := make([]float64, nt*k.TargetDim())
+		slow := make([]float64, nt*k.TargetDim())
+		P2P(k, trg, src, den, fast)
+		GenericP2P(k, trg, src, den, slow)
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-12*(math.Abs(slow[i])+1) {
+				t.Fatalf("%s: specialized P2P disagrees at %d: %v vs %v", k.Name(), i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestP2PAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k := Laplace{}
+	trg := randomCloud(rng, 4)
+	src := randomCloud(rng, 5)
+	den := []float64{1, 2, 3, 4, 5}
+	pot := []float64{10, 20, 30, 40}
+	once := make([]float64, 4)
+	P2P(k, trg, src, den, once)
+	P2P(k, trg, src, den, pot)
+	for i := range pot {
+		want := once[i] + float64(10*(i+1))
+		if math.Abs(pot[i]-want) > 1e-12 {
+			t.Errorf("P2P must accumulate: pot[%d]=%v want %v", i, pot[i], want)
+		}
+	}
+}
+
+func TestP2PSkipsSelfInteraction(t *testing.T) {
+	for _, k := range allKernels() {
+		pts := []float64{0.5, -0.25, 0.125}
+		den := make([]float64, k.SourceDim())
+		for i := range den {
+			den[i] = 1
+		}
+		pot := make([]float64, k.TargetDim())
+		P2P(k, pts, pts, den, pot)
+		for i, v := range pot {
+			if !(v == 0) || math.IsNaN(v) {
+				t.Errorf("%s: self interaction leaked: pot[%d]=%v", k.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestMatrixMatchesP2P(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, k := range allKernels() {
+		nt, ns := 6, 9
+		sd, td := k.SourceDim(), k.TargetDim()
+		trg := randomCloud(rng, nt)
+		src := randomCloud(rng, ns)
+		den := make([]float64, ns*sd)
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		mat := make([]float64, nt*td*ns*sd)
+		Matrix(k, trg, src, mat)
+		viaMat := make([]float64, nt*td)
+		cols := ns * sd
+		for r := 0; r < nt*td; r++ {
+			s := 0.0
+			for c := 0; c < cols; c++ {
+				s += mat[r*cols+c] * den[c]
+			}
+			viaMat[r] = s
+		}
+		direct := make([]float64, nt*td)
+		P2P(k, trg, src, den, direct)
+		for i := range direct {
+			if math.Abs(direct[i]-viaMat[i]) > 1e-12*(math.Abs(direct[i])+1) {
+				t.Fatalf("%s: Matrix path disagrees with P2P at %d", k.Name(), i)
+			}
+		}
+	}
+}
+
+func TestP2PFlopsPositive(t *testing.T) {
+	for _, k := range allKernels() {
+		if P2PFlops(k, 10, 20) <= 0 {
+			t.Errorf("%s: flop estimate must be positive", k.Name())
+		}
+	}
+	if P2PFlops(Laplace{}, 0, 100) != 0 {
+		t.Error("zero targets must cost zero flops")
+	}
+}
+
+func BenchmarkP2PLaplace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trg := randomCloud(rng, 100)
+	src := randomCloud(rng, 100)
+	den := make([]float64, 100)
+	pot := make([]float64, 100)
+	for i := range den {
+		den[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		P2P(Laplace{}, trg, src, den, pot)
+	}
+}
+
+func BenchmarkP2PStokes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trg := randomCloud(rng, 100)
+	src := randomCloud(rng, 100)
+	den := make([]float64, 300)
+	pot := make([]float64, 300)
+	for i := range den {
+		den[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		P2P(NewStokes(1), trg, src, den, pot)
+	}
+}

@@ -1,0 +1,56 @@
+package morton
+
+import "sort"
+
+// Weighted is an item with a Morton key and a work weight, e.g. a surface
+// patch keyed by its center with weight equal to its particle count
+// (paper Section 3.1: "assign to each patch a weight which in the
+// simplest case is equal to the number of particles in that patch").
+type Weighted struct {
+	Key    Key
+	Weight int64
+	// Index is the caller's identifier for the item (e.g. patch index).
+	Index int
+}
+
+// Partition sorts the items along the Morton curve and splits them into
+// parts contiguous groups of near-equal total weight, returning for each
+// part the indices (caller Index values) assigned to it. Every part of a
+// non-empty input receives at least zero items; items are never split.
+//
+// The splitter walks the curve greedily: item i goes to the earliest part
+// whose cumulative target (totalWeight * (p+1)/parts) has not yet been
+// reached. This matches the straightforward equal-weight Morton
+// partitioning described in the paper.
+func Partition(items []Weighted, parts int) [][]int {
+	if parts < 1 {
+		panic("morton: Partition needs parts >= 1")
+	}
+	sorted := make([]Weighted, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Key == sorted[j].Key {
+			return sorted[i].Index < sorted[j].Index
+		}
+		return sorted[i].Key.Less(sorted[j].Key)
+	})
+	total := int64(0)
+	for _, it := range sorted {
+		total += it.Weight
+	}
+	out := make([][]int, parts)
+	cum := int64(0)
+	p := 0
+	for _, it := range sorted {
+		// Advance to the part whose weight target covers the midpoint of
+		// this item's weight interval, so large items land where most of
+		// their mass belongs.
+		mid := cum + it.Weight/2
+		for p < parts-1 && mid*int64(parts) >= total*int64(p+1) {
+			p++
+		}
+		out[p] = append(out[p], it.Index)
+		cum += it.Weight
+	}
+	return out
+}

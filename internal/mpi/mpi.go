@@ -1,0 +1,185 @@
+// Package mpi is an in-process message-passing library with the subset
+// of MPI semantics the paper's parallel algorithm needs: eager
+// point-to-point sends with (source, tag) matching, blocking receives,
+// and the collectives MPI_Allreduce / MPI_Allgather / MPI_Barrier /
+// MPI_Bcast. It replaces the MPI dependency the Go port lacks.
+//
+// Ranks are goroutines, but execution is serialized by a token so that
+// exactly one rank computes at a time. That makes the simulation
+// deterministic on any machine and lets each rank meter its own compute
+// time with a wall clock: while a rank holds the token, elapsed wall
+// time is that rank's compute time. Communication advances a per-rank
+// virtual clock using a latency/bandwidth machine model (a LogP-style
+// simulation of the Quadrics-class interconnect of the paper's TCS-1
+// platform). Scalability experiments then report virtual wall-clock
+// time T(P) = max over ranks of virtual time, which reproduces the
+// *shape* of the paper's scalability results on a single host.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Machine models the communication hardware.
+type Machine struct {
+	// Latency is the end-to-end message latency (MPI alpha term).
+	Latency time.Duration
+	// Bandwidth is the per-link bandwidth in bytes/second (beta term).
+	Bandwidth float64
+	// SendOverhead is the CPU time a sender is occupied per message.
+	SendOverhead time.Duration
+	// RecvOverhead is the CPU time a receiver is occupied per message.
+	RecvOverhead time.Duration
+}
+
+// DefaultMachine approximates the paper's testbed interconnect
+// (Quadrics: ~5us MPI latency, ~250 MB/s effective per-process
+// bandwidth with 4 processes per node sharing a rail).
+func DefaultMachine() Machine {
+	return Machine{
+		Latency:      5 * time.Microsecond,
+		Bandwidth:    250e6,
+		SendOverhead: 500 * time.Nanosecond,
+		RecvOverhead: 500 * time.Nanosecond,
+	}
+}
+
+// transferTime returns the wire time of a message of n bytes.
+func (m Machine) transferTime(n int) time.Duration {
+	if m.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+}
+
+type message struct {
+	src, tag int
+	data     any
+	bytes    int
+	avail    time.Duration // virtual time at which the payload is available
+}
+
+// Comm is one rank's communicator handle. Methods must only be called
+// from the rank's own goroutine.
+type Comm struct {
+	rank, size int
+	net        *network
+
+	clock    time.Duration // virtual time of this rank
+	lastReal time.Time     // wall time when the token was (re)acquired
+
+	commTime  time.Duration
+	bytesSent int64
+	bytesRecv int64
+	msgsSent  int64
+	collSeq   int
+	done      bool
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Elapsed returns the rank's current virtual time (compute plus
+// communication, as a physical run of the same code would measure).
+// Called from the rank goroutine it is live; after Run it is final.
+func (c *Comm) Elapsed() time.Duration {
+	if !c.done {
+		c.tick()
+	}
+	return c.clock
+}
+
+// CommTime returns the portion of virtual time spent in communication.
+func (c *Comm) CommTime() time.Duration { return c.commTime }
+
+// BytesSent returns the total payload bytes this rank has sent.
+func (c *Comm) BytesSent() int64 { return c.bytesSent }
+
+// BytesRecv returns the total payload bytes this rank has received.
+func (c *Comm) BytesRecv() int64 { return c.bytesRecv }
+
+// Messages returns the number of point-to-point messages sent.
+func (c *Comm) Messages() int64 { return c.msgsSent }
+
+// AdvanceClock adds d of modeled compute time to the rank's virtual
+// clock (used by tests; real compute is metered automatically).
+func (c *Comm) AdvanceClock(d time.Duration) { c.clock += d }
+
+// tick folds wall time elapsed while holding the token into the virtual
+// clock as compute time.
+func (c *Comm) tick() {
+	now := time.Now()
+	c.clock += now.Sub(c.lastReal)
+	c.lastReal = now
+}
+
+// Run executes fn on size ranks and returns the per-rank Comms after all
+// ranks finish (for inspecting clocks and counters). It panics if any
+// rank panics.
+func Run(size int, machine Machine, fn func(*Comm)) []*Comm {
+	if size < 1 {
+		panic("mpi: size must be >= 1")
+	}
+	net := newNetwork(size, machine)
+	comms := make([]*Comm, size)
+	errs := make(chan any, size)
+	for r := 0; r < size; r++ {
+		comms[r] = &Comm{rank: r, size: size, net: net}
+	}
+	for r := 0; r < size; r++ {
+		go func(c *Comm) {
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("mpi: rank %d panicked: %v", c.rank, p)
+				} else {
+					errs <- nil
+				}
+				c.tick()
+				c.done = true
+				c.net.releaseToken()
+			}()
+			c.net.acquireToken()
+			c.lastReal = time.Now()
+			fn(c)
+		}(comms[r])
+	}
+	var failure any
+	for r := 0; r < size; r++ {
+		if e := <-errs; e != nil && failure == nil {
+			failure = e
+		}
+	}
+	if failure != nil {
+		panic(failure)
+	}
+	return comms
+}
+
+// MaxElapsed returns max over ranks of virtual time — the simulated
+// wall-clock of the parallel run.
+func MaxElapsed(comms []*Comm) time.Duration {
+	var m time.Duration
+	for _, c := range comms {
+		if c.clock > m {
+			m = c.clock
+		}
+	}
+	return m
+}
+
+// MinElapsed returns the smallest per-rank virtual time, used for the
+// paper's load-imbalance "Ratio" metric (max/min).
+func MinElapsed(comms []*Comm) time.Duration {
+	m := time.Duration(math.MaxInt64)
+	for _, c := range comms {
+		if c.clock < m {
+			m = c.clock
+		}
+	}
+	return m
+}

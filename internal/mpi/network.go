@@ -1,0 +1,319 @@
+package mpi
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// network is the shared transport: a token serializing execution,
+// per-rank mailboxes, and collective rendezvous state.
+type network struct {
+	size    int
+	machine Machine
+
+	token chan struct{}
+
+	mu      sync.Mutex
+	boxes   [][]message     // boxes[dst]: pending messages
+	wake    []chan struct{} // per-rank wakeup, capacity 1
+	colls   map[int]*collective
+	collNum int // allocated collective sequence counter safety check
+}
+
+type collective struct {
+	arrived int
+	entries []time.Duration
+	inputs  []any
+	result  any
+	exit    time.Duration
+	done    chan struct{}
+}
+
+func newNetwork(size int, m Machine) *network {
+	n := &network{
+		size:    size,
+		machine: m,
+		token:   make(chan struct{}, 1),
+		boxes:   make([][]message, size),
+		wake:    make([]chan struct{}, size),
+		colls:   make(map[int]*collective),
+	}
+	for i := range n.wake {
+		n.wake[i] = make(chan struct{}, 1)
+	}
+	n.token <- struct{}{}
+	return n
+}
+
+func (n *network) acquireToken() { <-n.token }
+func (n *network) releaseToken() { n.token <- struct{}{} }
+
+// Send delivers data (already a private copy) of the given payload size
+// to dst with a matching tag. It never blocks (eager buffering), which
+// keeps the paper's send-before-receive gather/scatter pattern
+// deadlock-free.
+func (c *Comm) Send(dst, tag int, data any, bytes int) {
+	if dst < 0 || dst >= c.size {
+		panic("mpi: Send destination out of range")
+	}
+	c.tick()
+	start := c.clock
+	c.clock += c.net.machine.SendOverhead + c.net.machine.transferTime(bytes)
+	avail := c.clock + c.net.machine.Latency
+	c.commTime += c.clock - start
+	c.bytesSent += int64(bytes)
+	c.msgsSent++
+	c.lastReal = time.Now()
+
+	n := c.net
+	n.mu.Lock()
+	n.boxes[dst] = append(n.boxes[dst], message{src: c.rank, tag: tag, data: data, bytes: bytes, avail: avail})
+	n.mu.Unlock()
+	select {
+	case n.wake[dst] <- struct{}{}:
+	default:
+	}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from one (src, tag) pair are delivered
+// in send order.
+func (c *Comm) Recv(src, tag int) any {
+	if src < 0 || src >= c.size {
+		panic("mpi: Recv source out of range")
+	}
+	c.tick()
+	start := c.clock
+	n := c.net
+	for {
+		n.mu.Lock()
+		box := n.boxes[c.rank]
+		for i := range box {
+			if box[i].src == src && box[i].tag == tag {
+				msg := box[i]
+				n.boxes[c.rank] = append(box[:i:i], box[i+1:]...)
+				n.mu.Unlock()
+				if msg.avail > c.clock {
+					c.clock = msg.avail
+				}
+				c.clock += n.machine.RecvOverhead
+				c.commTime += c.clock - start
+				c.bytesRecv += int64(msg.bytes)
+				c.lastReal = time.Now()
+				return msg.data
+			}
+		}
+		n.mu.Unlock()
+		// Nothing yet: yield the token and sleep until a sender pokes us.
+		n.releaseToken()
+		<-n.wake[c.rank]
+		n.acquireToken()
+		c.lastReal = time.Now()
+	}
+}
+
+// runCollective is the rendezvous engine: every rank deposits its input
+// and entry clock; the last arrival combines the inputs, computes the
+// synchronized exit time, and wakes everyone.
+//
+// combine receives the inputs indexed by rank and returns (result,
+// perRankBytes) where perRankBytes models the data volume each rank
+// exchanges; the exit time is max(entry) plus a tree-structured cost
+// 2*ceil(log2 P)*(latency + transfer(perRankBytes)).
+func (c *Comm) runCollective(inputs any, combine func(all []any) (any, int)) any {
+	c.tick()
+	start := c.clock
+	n := c.net
+	seq := c.collSeq
+	c.collSeq++
+
+	n.mu.Lock()
+	coll, ok := n.colls[seq]
+	if !ok {
+		coll = &collective{
+			entries: make([]time.Duration, n.size),
+			inputs:  make([]any, n.size),
+			done:    make(chan struct{}),
+		}
+		n.colls[seq] = coll
+	}
+	coll.entries[c.rank] = c.clock
+	coll.inputs[c.rank] = inputs
+	coll.arrived++
+	last := coll.arrived == n.size
+	if last {
+		result, bytes := combine(coll.inputs)
+		coll.result = result
+		exit := time.Duration(0)
+		for _, e := range coll.entries {
+			if e > exit {
+				exit = e
+			}
+		}
+		steps := ceilLog2(n.size)
+		coll.exit = exit + time.Duration(2*steps)*(n.machine.Latency+n.machine.transferTime(bytes))
+		delete(n.colls, seq)
+		close(coll.done)
+	}
+	n.mu.Unlock()
+	if !last {
+		n.releaseToken()
+		<-coll.done
+		n.acquireToken()
+	}
+	c.clock = coll.exit
+	c.commTime += c.clock - start
+	c.lastReal = time.Now()
+	return coll.result
+}
+
+func ceilLog2(n int) int {
+	s := 0
+	for v := 1; v < n; v <<= 1 {
+		s++
+	}
+	return s
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier).
+func (c *Comm) Barrier() {
+	c.runCollective(nil, func([]any) (any, int) { return nil, 8 })
+}
+
+// ReduceOp selects the elementwise reduction of Allreduce.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceInt64 performs an elementwise MPI_Allreduce over int64 slices
+// and returns the reduced vector (all ranks receive the same result).
+func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
+	cp := append([]int64(nil), in...)
+	res := c.runCollective(cp, func(all []any) (any, int) {
+		out := append([]int64(nil), all[0].([]int64)...)
+		for _, a := range all[1:] {
+			v := a.([]int64)
+			for i := range out {
+				switch op {
+				case OpSum:
+					out[i] += v[i]
+				case OpMax:
+					if v[i] > out[i] {
+						out[i] = v[i]
+					}
+				case OpMin:
+					if v[i] < out[i] {
+						out[i] = v[i]
+					}
+				}
+			}
+		}
+		return out, 8 * len(out)
+	})
+	return append([]int64(nil), res.([]int64)...)
+}
+
+// AllreduceFloat64 performs an elementwise MPI_Allreduce over float64
+// slices.
+func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
+	cp := append([]float64(nil), in...)
+	res := c.runCollective(cp, func(all []any) (any, int) {
+		out := append([]float64(nil), all[0].([]float64)...)
+		for _, a := range all[1:] {
+			v := a.([]float64)
+			for i := range out {
+				switch op {
+				case OpSum:
+					out[i] += v[i]
+				case OpMax:
+					if v[i] > out[i] {
+						out[i] = v[i]
+					}
+				case OpMin:
+					if v[i] < out[i] {
+						out[i] = v[i]
+					}
+				}
+			}
+		}
+		return out, 8 * len(out)
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// AllgatherInt64 gathers each rank's slice on every rank, indexed by
+// rank (MPI_Allgatherv).
+func (c *Comm) AllgatherInt64(in []int64) [][]int64 {
+	cp := append([]int64(nil), in...)
+	total := 0
+	res := c.runCollective(cp, func(all []any) (any, int) {
+		out := make([][]int64, len(all))
+		for r, a := range all {
+			out[r] = a.([]int64)
+			total += len(out[r])
+		}
+		return out, 8 * total
+	})
+	src := res.([][]int64)
+	out := make([][]int64, len(src))
+	for r := range src {
+		out[r] = append([]int64(nil), src[r]...)
+	}
+	return out
+}
+
+// Bcast distributes root's slice to every rank (MPI_Bcast).
+func (c *Comm) Bcast(root int, in []float64) []float64 {
+	var cp []float64
+	if c.rank == root {
+		cp = append([]float64(nil), in...)
+	}
+	res := c.runCollective(cp, func(all []any) (any, int) {
+		v := all[root].([]float64)
+		return v, 8 * len(v)
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// SendFloat64s sends a copy of data to dst.
+func (c *Comm) SendFloat64s(dst, tag int, data []float64) {
+	c.Send(dst, tag, append([]float64(nil), data...), 8*len(data))
+}
+
+// RecvFloat64s receives a float64 slice from src.
+func (c *Comm) RecvFloat64s(src, tag int) []float64 {
+	return c.Recv(src, tag).([]float64)
+}
+
+// SendInt32s sends a copy of data to dst.
+func (c *Comm) SendInt32s(dst, tag int, data []int32) {
+	c.Send(dst, tag, append([]int32(nil), data...), 4*len(data))
+}
+
+// RecvInt32s receives an int32 slice from src.
+func (c *Comm) RecvInt32s(src, tag int) []int32 {
+	return c.Recv(src, tag).([]int32)
+}
+
+// PendingFrom reports the sources with queued messages for this rank
+// (diagnostic; sorted, deduplicated).
+func (c *Comm) PendingFrom() []int {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	set := map[int]bool{}
+	for _, m := range c.net.boxes[c.rank] {
+		set[m.src] = true
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

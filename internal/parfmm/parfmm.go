@@ -1,0 +1,260 @@
+// Package parfmm implements the paper's parallel algorithm (Section 3):
+// Morton-curve partitioning of input surface patches, level-by-level
+// construction of the global tree array via MPI_Allreduce, local
+// essential trees with contributor/owner/user roles, the gather/scatter
+// ghost exchange of Algorithm 1, and upward/downward computation passes
+// that run without synchronization ("a processor performs its own
+// computation ignoring the existence of other processors").
+//
+// As in the paper's experiments, the source and target point sets are
+// identical.
+package parfmm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fmm"
+	"repro/internal/geom"
+	"repro/internal/kernels"
+	"repro/internal/morton"
+	"repro/internal/mpi"
+)
+
+// Options configure a parallel evaluation.
+type Options struct {
+	// Kernel is the interaction kernel (required).
+	Kernel kernels.Kernel
+	// Degree is the equivalent-surface degree p (default 6).
+	Degree int
+	// MaxPoints is the leaf threshold s (default 60).
+	MaxPoints int
+	// MaxDepth caps the octree depth.
+	MaxDepth int
+	// Backend selects the M2L path (default fmm.M2LFFT).
+	Backend fmm.M2LBackend
+	// PinvTol is the pseudo-inverse truncation (default 1e-10).
+	PinvTol float64
+	// Machine is the communication model (default mpi.DefaultMachine).
+	Machine mpi.Machine
+	// Iterations repeats the interaction evaluation (the paper reports a
+	// single interaction averaged over several iterations). Default 1.
+	Iterations int
+	// PatchWeights, when non-nil (one entry per patch), replaces the
+	// particle-count weights of the Morton partitioning. The paper's
+	// discussion proposes exactly this: "we plan to use workload
+	// information from previous time steps for load balancing" — pass a
+	// previous Result.PatchWork here.
+	PatchWeights []int64
+}
+
+// RankStats records one rank's virtual-time breakdown, matching the
+// stages of the paper's Figures 4.2/4.3.
+type RankStats struct {
+	// TreeTime is the virtual time of partitioning plus tree
+	// construction, including its collectives ("Gen/Comm" in the tables).
+	TreeTime time.Duration
+	// Total is the virtual time of one interaction evaluation.
+	Total time.Duration
+	// Comm is the communication part of Total.
+	Comm time.Duration
+	// Stats breaks down the compute stages (Up, DownU/V/W/X, Eval).
+	Stats fmm.Stats
+	// BytesSent counts payload bytes this rank sent during evaluation.
+	BytesSent int64
+}
+
+// Result of a parallel evaluation.
+type Result struct {
+	// Pot holds the potentials in the order of geom.Flatten(patches).
+	Pot []float64
+	// Ranks holds per-rank statistics (averaged over Iterations).
+	Ranks []RankStats
+	// Boxes is the global tree size, Depth its level count.
+	Boxes, Depth int
+	// PatchWork estimates the interaction work (flops) attributable to
+	// each input patch, usable as Options.PatchWeights of a subsequent
+	// evaluation (the paper's proposed time-step-to-time-step load
+	// balancing).
+	PatchWork []int64
+}
+
+// MaxTotal returns the slowest rank's interaction time — the simulated
+// wall clock T(P) of the run.
+func (r *Result) MaxTotal() time.Duration {
+	var m time.Duration
+	for _, s := range r.Ranks {
+		if s.Total > m {
+			m = s.Total
+		}
+	}
+	return m
+}
+
+// Ratio returns the paper's load-imbalance indicator: the ratio of the
+// maximum to the minimum per-rank interaction time.
+func (r *Result) Ratio() float64 {
+	if len(r.Ranks) == 0 {
+		return 1
+	}
+	min, max := r.Ranks[0].Total, r.Ranks[0].Total
+	for _, s := range r.Ranks[1:] {
+		if s.Total < min {
+			min = s.Total
+		}
+		if s.Total > max {
+			max = s.Total
+		}
+	}
+	if min <= 0 {
+		return 1
+	}
+	return float64(max) / float64(min)
+}
+
+// Evaluate runs the parallel KIFMM on nproc simulated ranks. patches are
+// the input surfaces (partitioned by weighted Morton order, Section 3.1);
+// den holds SourceDim density components per point in the order of
+// geom.Flatten(patches).
+func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Result, error) {
+	if opt.Kernel == nil {
+		return nil, fmt.Errorf("parfmm: Options.Kernel is required")
+	}
+	if opt.Degree == 0 {
+		opt.Degree = 6
+	}
+	if opt.MaxPoints == 0 {
+		opt.MaxPoints = 60
+	}
+	if opt.PinvTol == 0 {
+		opt.PinvTol = 1e-10
+	}
+	if opt.Iterations <= 0 {
+		opt.Iterations = 1
+	}
+	if opt.Machine == (mpi.Machine{}) {
+		opt.Machine = mpi.DefaultMachine()
+	}
+	if nproc < 1 {
+		return nil, fmt.Errorf("parfmm: need at least one rank")
+	}
+	sd := opt.Kernel.SourceDim()
+	total := geom.TotalCount(patches)
+	if len(den) != total*sd {
+		return nil, fmt.Errorf("parfmm: density length %d, want %d", len(den), total*sd)
+	}
+
+	// Partition whole patches along the Morton curve, weighted by count.
+	// The cube for partitioning keys is the bounding cube of the patch
+	// centers; only relative order matters.
+	items := make([]morton.Weighted, len(patches))
+	centers := make([]float64, 0, 3*len(patches))
+	for i := range patches {
+		centers = append(centers, patches[i].Center[0], patches[i].Center[1], patches[i].Center[2])
+	}
+	cc, chw := geom.BoundingCube(centers)
+	if opt.PatchWeights != nil && len(opt.PatchWeights) != len(patches) {
+		return nil, fmt.Errorf("parfmm: PatchWeights length %d, want %d", len(opt.PatchWeights), len(patches))
+	}
+	for i := range patches {
+		w := int64(patches[i].Count())
+		if opt.PatchWeights != nil {
+			w = opt.PatchWeights[i]
+			if w < 1 {
+				w = 1
+			}
+		}
+		items[i] = morton.Weighted{
+			Key:    morton.PointKey(patches[i].Center[0], patches[i].Center[1], patches[i].Center[2], cc, chw),
+			Weight: w,
+			Index:  i,
+		}
+	}
+	parts := morton.Partition(items, nproc)
+
+	// Patch start offsets in the flattened global order.
+	starts := make([]int, len(patches)+1)
+	for i := range patches {
+		starts[i+1] = starts[i] + patches[i].Count()
+	}
+
+	inputs := make([]*rankInput, nproc)
+	for r := 0; r < nproc; r++ {
+		in := &rankInput{}
+		for _, pi := range parts[r] {
+			in.pts = append(in.pts, patches[pi].Points...)
+			for j := 0; j < patches[pi].Count(); j++ {
+				g := starts[pi] + j
+				in.globalIdx = append(in.globalIdx, int32(g))
+				in.den = append(in.den, den[g*sd:(g+1)*sd]...)
+			}
+		}
+		inputs[r] = in
+	}
+
+	td := opt.Kernel.TargetDim()
+	pot := make([]float64, total*td)
+	pointWork := make([]int64, total)
+	stats := make([]RankStats, nproc)
+	treeBoxes := make([]int, nproc)
+	treeDepth := make([]int, nproc)
+
+	mpi.Run(nproc, opt.Machine, func(c *mpi.Comm) {
+		rk := newRank(c, inputs[c.Rank()], opt)
+		rk.buildGlobalTree()
+		treeBoxes[c.Rank()] = len(rk.tree.Boxes)
+		treeDepth[c.Rank()] = rk.tree.Depth()
+		rk.assignOwners()
+		stats[c.Rank()].TreeTime = c.Elapsed()
+
+		// Untimed warm-up evaluation: the translation operators and FFT
+		// tensors are built lazily on first use, and the paper's timings
+		// (like any FMM production setting, where the same tree serves
+		// tens of interaction evaluations) exclude that setup cost. The
+		// measured iterations below see only steady-state work.
+		rk.evaluate()
+
+		var agg fmm.Stats
+		var totalT, commT time.Duration
+		var bytes int64
+		for it := 0; it < opt.Iterations; it++ {
+			t0 := c.Elapsed()
+			c0 := c.CommTime()
+			b0 := c.BytesSent()
+			rk.evaluate()
+			totalT += c.Elapsed() - t0
+			commT += c.CommTime() - c0
+			bytes += c.BytesSent() - b0
+			agg.Add(rk.stats)
+		}
+		n := time.Duration(opt.Iterations)
+		stats[c.Rank()].Total = totalT / n
+		stats[c.Rank()].Comm = commT / n
+		stats[c.Rank()].BytesSent = bytes / int64(opt.Iterations)
+		stats[c.Rank()].Stats = agg
+		// Write local potentials and per-point work estimates into the
+		// shared result (serialized by the token; indices are disjoint
+		// across ranks).
+		work := rk.pointWorkEstimate()
+		for i, g := range rk.in.globalIdx {
+			copy(pot[int(g)*td:(int(g)+1)*td], rk.pot[i*td:(i+1)*td])
+			pointWork[g] = work[i]
+		}
+	})
+
+	// Aggregate point work into per-patch totals.
+	patchWork := make([]int64, len(patches))
+	for pi := range patches {
+		for j := starts[pi]; j < starts[pi+1]; j++ {
+			patchWork[pi] += pointWork[j]
+		}
+	}
+
+	return &Result{Pot: pot, Ranks: stats, Boxes: treeBoxes[0], Depth: treeDepth[0], PatchWork: patchWork}, nil
+}
+
+type rankInput struct {
+	pts       []float64
+	den       []float64
+	globalIdx []int32
+}

@@ -1,0 +1,105 @@
+// Package surface places the equivalent and check surfaces of the
+// kernel-independent FMM (paper Section 2.1, Figures 2.1 and 2.2).
+//
+// Both surfaces are the boundary lattices of regular cubic grids, chosen
+// so that the upward-equivalent surface of a source box and the
+// downward-check surface of a target box lie on one common lattice: box
+// centers at the same level differ by 2r·k, and the grid spacing is
+// h = 2r/(p-2), so center offsets are exact lattice multiples (p-2)·k·h.
+// That alignment is what turns the M2L translation into a lattice
+// convolution accelerated by FFTs.
+//
+// Surface roles and radii for a box of half-width r (all satisfy the
+// paper's placement constraints listed at the end of Section 2):
+//
+//	upward equivalent (UE) and downward check (DC): half-width r·(p-1)/(p-2)
+//	upward check (UC) and downward equivalent (DE): half-width r·2.75
+//
+// UE lies strictly between the box and the far range; UC encloses UE and
+// stays strictly inside the near-range boundary 3r; the parent UE
+// (half-width 2r·(p-1)/(p-2)) encloses every child UE; DE encloses DC;
+// and DC surfaces are disjoint from the UE surfaces of all far boxes.
+package surface
+
+import "fmt"
+
+// CheckRatio is the half-width of the upward-check / downward-equivalent
+// surface relative to the box half-width.
+const CheckRatio = 2.75
+
+// Surface is the set of lattice points on the boundary of a p×p×p cubic
+// grid, in the unit frame: coordinates span [-1, 1] per axis.
+type Surface struct {
+	// P is the number of grid points per cube edge (p >= 3 so that the
+	// equivalent radius (p-1)/(p-2) is finite and the lattice aligns).
+	P int
+	// N is the number of surface points: 6p² - 12p + 8.
+	N int
+	// Rel holds the unit-frame coordinates (x,y,z per point, in [-1,1]).
+	Rel []float64
+	// VolIdx maps each surface point to its index in the full p³ volume
+	// grid (x-major, z fastest), used to embed surface densities into the
+	// FFT convolution grid.
+	VolIdx []int
+}
+
+// New enumerates the boundary lattice of the p³ grid.
+func New(p int) (*Surface, error) {
+	if p < 3 {
+		return nil, fmt.Errorf("surface: degree p must be >= 3, got %d", p)
+	}
+	s := &Surface{P: p}
+	step := 2.0 / float64(p-1)
+	for x := 0; x < p; x++ {
+		for y := 0; y < p; y++ {
+			for z := 0; z < p; z++ {
+				if x != 0 && x != p-1 && y != 0 && y != p-1 && z != 0 && z != p-1 {
+					continue
+				}
+				s.Rel = append(s.Rel,
+					-1+float64(x)*step,
+					-1+float64(y)*step,
+					-1+float64(z)*step,
+				)
+				s.VolIdx = append(s.VolIdx, (x*p+y)*p+z)
+			}
+		}
+	}
+	s.N = len(s.VolIdx)
+	if want := 6*p*p - 12*p + 8; s.N != want {
+		panic("surface: point count mismatch")
+	}
+	return s, nil
+}
+
+// EquivRadius returns the half-width of the UE/DC surface for a box of
+// half-width r: r·(p-1)/(p-2). The corresponding lattice spacing is
+// Spacing(p, r) and satisfies 2r = (p-2)·spacing exactly.
+func EquivRadius(p int, r float64) float64 {
+	return r * float64(p-1) / float64(p-2)
+}
+
+// CheckRadius returns the half-width of the UC/DE surface for a box of
+// half-width r.
+func CheckRadius(r float64) float64 { return CheckRatio * r }
+
+// Spacing returns the UE/DC lattice spacing h = 2r/(p-2).
+func Spacing(p int, r float64) float64 { return 2 * r / float64(p-2) }
+
+// Points writes the surface points scaled to half-width radius around
+// center into dst (length 3N) and returns dst. If dst is nil a new slice
+// is allocated.
+func (s *Surface) Points(center [3]float64, radius float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, 3*s.N)
+	}
+	if len(dst) != 3*s.N {
+		panic("surface: destination length mismatch")
+	}
+	for i := 0; i < s.N; i++ {
+		dst[3*i] = center[0] + radius*s.Rel[3*i]
+		dst[3*i+1] = center[1] + radius*s.Rel[3*i+1]
+		dst[3*i+2] = center[2] + radius*s.Rel[3*i+2]
+	}
+	return dst
+}

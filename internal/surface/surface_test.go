@@ -1,0 +1,147 @@
+package surface
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRejectsTinyDegrees(t *testing.T) {
+	for _, p := range []int{-1, 0, 1, 2} {
+		if _, err := New(p); err == nil {
+			t.Errorf("p=%d must be rejected", p)
+		}
+	}
+}
+
+func TestPointCountFormula(t *testing.T) {
+	for p := 3; p <= 12; p++ {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 6*p*p - 12*p + 8; s.N != want {
+			t.Errorf("p=%d: N=%d want %d", p, s.N, want)
+		}
+		if len(s.Rel) != 3*s.N || len(s.VolIdx) != s.N {
+			t.Errorf("p=%d: inconsistent storage", p)
+		}
+	}
+}
+
+func TestAllPointsOnBoundaryAndUnique(t *testing.T) {
+	s, _ := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < s.N; i++ {
+		onFace := false
+		for d := 0; d < 3; d++ {
+			v := s.Rel[3*i+d]
+			if v < -1-1e-15 || v > 1+1e-15 {
+				t.Fatalf("coordinate %v outside unit frame", v)
+			}
+			if math.Abs(math.Abs(v)-1) < 1e-15 {
+				onFace = true
+			}
+		}
+		if !onFace {
+			t.Fatalf("point %d not on the cube boundary", i)
+		}
+		if seen[s.VolIdx[i]] {
+			t.Fatalf("duplicate volume index %d", s.VolIdx[i])
+		}
+		seen[s.VolIdx[i]] = true
+	}
+}
+
+func TestSymmetryUnderNegation(t *testing.T) {
+	// The lattice is symmetric under x -> -x per axis: every point's
+	// mirror is also a surface point.
+	s, _ := New(6)
+	type key [3]int64
+	q := func(i int) key {
+		return key{
+			int64(math.Round(s.Rel[3*i] * 1e12)),
+			int64(math.Round(s.Rel[3*i+1] * 1e12)),
+			int64(math.Round(s.Rel[3*i+2] * 1e12)),
+		}
+	}
+	set := map[key]bool{}
+	for i := 0; i < s.N; i++ {
+		set[q(i)] = true
+	}
+	for i := 0; i < s.N; i++ {
+		k := q(i)
+		for _, m := range []key{{-k[0], k[1], k[2]}, {k[0], -k[1], k[2]}, {k[0], k[1], -k[2]}} {
+			if !set[m] {
+				t.Fatalf("mirror of point %d missing", i)
+			}
+		}
+	}
+}
+
+func TestRadiiSatisfyPaperConstraints(t *testing.T) {
+	// End-of-Section-2 constraints for a box of half-width r=1 and its
+	// parent (half-width 2):
+	for p := 4; p <= 10; p++ {
+		ue := EquivRadius(p, 1)
+		uc := CheckRadius(1)
+		if !(1 < ue && ue < uc && uc < 3) {
+			t.Errorf("p=%d: need box < UE < UC < near-range, got 1 < %v < %v < 3", p, ue, uc)
+		}
+		// Parent UE encloses child UE (paper constraint 3): for a parent
+		// of half-width 2 the child (half-width 1) sits at center offset
+		// 1, so its UE surface reaches 1 + EquivRadius(p, 1) from the
+		// parent center, which must stay inside EquivRadius(p, 2).
+		if EquivRadius(p, 2) <= 1+EquivRadius(p, 1) {
+			t.Errorf("p=%d: parent UE does not enclose child UE", p)
+		}
+		// V-list safety: DC (= ue) of the target plus UE of a source at
+		// center distance 4 must not intersect: 4 - 2*ue > 0.
+		if 4-2*ue <= 0 {
+			t.Errorf("p=%d: UE/DC surfaces of V-list boxes intersect", p)
+		}
+	}
+}
+
+func TestSpacingAlignment(t *testing.T) {
+	// The M2L lattice property: box-center offsets 2r are exact integer
+	// multiples of the surface spacing.
+	for p := 3; p <= 10; p++ {
+		h := Spacing(p, 1)
+		ratio := 2 / h
+		if math.Abs(ratio-float64(p-2)) > 1e-13 {
+			t.Errorf("p=%d: 2r/h = %v, want %d", p, ratio, p-2)
+		}
+		// Spacing must equal the lattice step of the scaled surface.
+		s, _ := New(p)
+		re := EquivRadius(p, 1)
+		step := re * 2 / float64(p-1)
+		if math.Abs(step-h) > 1e-13 {
+			t.Errorf("p=%d: spacing %v vs lattice step %v", p, h, step)
+		}
+		_ = s
+	}
+}
+
+func TestPointsScaling(t *testing.T) {
+	s, _ := New(4)
+	c := [3]float64{1, -2, 3}
+	pts := s.Points(c, 0.5, nil)
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			if math.Abs(pts[3*i+d]-c[d]) > 0.5+1e-12 {
+				t.Fatal("scaled point escapes the cube")
+			}
+		}
+	}
+	// Destination reuse.
+	dst := make([]float64, 3*s.N)
+	if got := s.Points(c, 0.5, dst); &got[0] != &dst[0] {
+		t.Error("Points must write into the provided buffer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong destination length must panic")
+		}
+	}()
+	s.Points(c, 1, make([]float64, 5))
+}

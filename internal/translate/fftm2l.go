@@ -1,0 +1,198 @@
+package translate
+
+import (
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/kernels"
+	"repro/internal/surface"
+)
+
+// FFTM2L implements the FFT-accelerated M2L translation of the paper
+// ("the multipole-to-local translations are accelerated using local
+// FFTs"). Because the UE surface of a source box and the DC surface of a
+// target box at the same level lie on one regular lattice with spacing
+// h = 2r/(p-2), the translation
+//
+//	u[t] = Σ_s G(h·(t - s + (p-2)·k)) φ[s]
+//
+// is a circular convolution once the surface density is embedded into a
+// p³ volume zero-padded to an M³ grid (M = smallest 5-smooth integer
+// ≥ 2p-1). Per V-list offset k the kernel tensor's forward transform is
+// precomputed; each source box needs one forward FFT, each target box
+// accumulates Hadamard products in Fourier space and performs a single
+// inverse FFT.
+type FFTM2L struct {
+	set  *Set
+	M    int // padded grid edge
+	plan *fft.Plan3
+}
+
+// tensorCache shares transformed kernel tensors process-wide, mirroring
+// the operator cache in translate.go: tensors depend only on (kernel,
+// degree, box half-width, offset), so evaluator sweeps and parallel
+// ranks reuse one copy.
+var (
+	tensorMu    sync.Mutex
+	tensorCache = map[tensorKey][][]complex128{}
+)
+
+type tensorKey struct {
+	kern   kernels.Kernel
+	p      int
+	radius float64
+	off    [3]int
+}
+
+// NewFFTM2L prepares the FFT M2L backend for an operator set.
+func NewFFTM2L(s *Set) *FFTM2L {
+	m := fft.NextSmooth(2*s.P - 1)
+	return &FFTM2L{
+		set:  s,
+		M:    m,
+		plan: fft.NewPlan3(m, m, m),
+	}
+}
+
+// GridLen returns the number of grid points per component (M³).
+func (f *FFTM2L) GridLen() int { return f.M * f.M * f.M }
+
+// NewAccumulator returns zeroed Fourier-space accumulation grids, one per
+// target potential component.
+func (f *FFTM2L) NewAccumulator() [][]complex128 {
+	acc := make([][]complex128, f.set.Kern.TargetDim())
+	for i := range acc {
+		acc[i] = make([]complex128, f.GridLen())
+	}
+	return acc
+}
+
+// ResetAccumulator zeroes grids previously returned by NewAccumulator.
+func (f *FFTM2L) ResetAccumulator(acc [][]complex128) {
+	for _, g := range acc {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// ForwardDensity embeds the surface density phi (EquivCount values) into
+// per-component volume grids and transforms them. dst must hold
+// SourceDim grids of GridLen (allocate with NewSourceGrids).
+func (f *FFTM2L) ForwardDensity(phi []float64, dst [][]complex128) {
+	sd := f.set.Kern.SourceDim()
+	p, m := f.set.P, f.M
+	for c := 0; c < sd; c++ {
+		g := dst[c]
+		for i := range g {
+			g[i] = 0
+		}
+		for si, vi := range f.set.Surf.VolIdx {
+			// vi indexes the p³ volume: (x*p+y)*p+z.
+			x := vi / (p * p)
+			y := vi / p % p
+			z := vi % p
+			g[(x*m+y)*m+z] = complex(phi[si*sd+c], 0)
+		}
+		f.plan.Forward(g)
+	}
+}
+
+// NewSourceGrids returns grids for ForwardDensity.
+func (f *FFTM2L) NewSourceGrids() [][]complex128 {
+	g := make([][]complex128, f.set.Kern.SourceDim())
+	for i := range g {
+		g[i] = make([]complex128, f.GridLen())
+	}
+	return g
+}
+
+// Accumulate adds the Fourier-space M2L contribution of a source box
+// (transformed grids src) to a target accumulator, for boxes at the
+// given level with integer center offset k = (targetCell - sourceCell).
+func (f *FFTM2L) Accumulate(acc, src [][]complex128, level int, k [3]int) {
+	key, escale, _ := f.set.scaleFor(level)
+	t := f.tensor(key, k)
+	sd, td := f.set.Kern.SourceDim(), f.set.Kern.TargetDim()
+	s := complex(escale, 0)
+	for a := 0; a < td; a++ {
+		dst := acc[a]
+		for b := 0; b < sd; b++ {
+			tg := t[a*sd+b]
+			sg := src[b]
+			for i := range dst {
+				dst[i] += s * tg[i] * sg[i]
+			}
+		}
+	}
+}
+
+// Extract inverse-transforms the accumulator and reads off the downward
+// check potential at the DC surface points, adding into check
+// (CheckCount values).
+func (f *FFTM2L) Extract(acc [][]complex128, check []float64) {
+	td := f.set.Kern.TargetDim()
+	p, m := f.set.P, f.M
+	for a := 0; a < td; a++ {
+		f.plan.Inverse(acc[a])
+		g := acc[a]
+		for si, vi := range f.set.Surf.VolIdx {
+			x := vi / (p * p)
+			y := vi / p % p
+			z := vi % p
+			check[si*td+a] += real(g[(x*m+y)*m+z])
+		}
+	}
+}
+
+// tensor returns (building if needed) the forward-transformed kernel
+// translation tensor for cache key and offset k.
+func (f *FFTM2L) tensor(key int, k [3]int) [][]complex128 {
+	r := f.set.geomRadius(key)
+	tk := tensorKey{kern: f.set.Kern, p: f.set.P, radius: r, off: k}
+	tensorMu.Lock()
+	defer tensorMu.Unlock()
+	if t, ok := tensorCache[tk]; ok {
+		return t
+	}
+	p, m := f.set.P, f.M
+	h := surface.Spacing(p, r)
+	sd, td := f.set.Kern.SourceDim(), f.set.Kern.TargetDim()
+	t := make([][]complex128, td*sd)
+	for c := range t {
+		t[c] = make([]complex128, f.GridLen())
+	}
+	block := make([]float64, td*sd)
+	for dx := -(p - 1); dx <= p-1; dx++ {
+		wx := wrap(dx, m)
+		for dy := -(p - 1); dy <= p-1; dy++ {
+			wy := wrap(dy, m)
+			for dz := -(p - 1); dz <= p-1; dz++ {
+				wz := wrap(dz, m)
+				f.set.Kern.Eval(
+					h*float64(dx+(p-2)*k[0]),
+					h*float64(dy+(p-2)*k[1]),
+					h*float64(dz+(p-2)*k[2]),
+					block,
+				)
+				idx := (wx*m+wy)*m + wz
+				for c, v := range block {
+					t[c][idx] = complex(v, 0)
+				}
+			}
+		}
+	}
+	for c := range t {
+		f.plan.Forward(t[c])
+	}
+	tensorCache[tk] = t
+	return t
+}
+
+func wrap(d, m int) int {
+	d %= m
+	if d < 0 {
+		d += m
+	}
+	return d
+}

@@ -1,0 +1,327 @@
+// Package translate builds and caches the density-translation operators
+// of the kernel-independent FMM (paper Section 2.1):
+//
+//	S2M/M2M: equations (2.1) and (2.3) — build a box's upward equivalent
+//	         density from its sources or its children's densities by
+//	         evaluating an upward check potential and inverting the
+//	         check/equivalent integral equation;
+//	M2L:     equation (2.4) — turn a far box's upward equivalent density
+//	         into a downward check potential;
+//	L2L:     equation (2.5) — pass the downward equivalent density from a
+//	         parent to a child.
+//
+// The inversions are truncated-SVD pseudo-inverses (the regularization
+// the method needs: the integral equations are consistent but
+// ill-conditioned). For homogeneous kernels (Laplace, Stokes) all
+// operators are built once at unit scale and rescaled analytically, since
+// G(s·x, s·y) = s^deg · G(x, y) makes every level's operator an exact
+// multiple of the unit one; non-homogeneous kernels (modified Laplace)
+// get per-level caches.
+package translate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/surface"
+)
+
+// Op is a dense operator together with the analytic scale factor to apply
+// at a given tree level.
+type Op struct {
+	M     *linalg.Dense
+	Scale float64
+}
+
+// Apply accumulates dst += Scale * M * x.
+func (o Op) Apply(dst, x []float64) { o.M.MatVecAddScaled(dst, x, o.Scale) }
+
+// Set caches every translation operator for one kernel, surface degree
+// and root box size. It is safe for concurrent use.
+type Set struct {
+	Kern kernels.Kernel
+	Surf *surface.Surface
+	// P is the surface degree (grid points per cube edge).
+	P int
+	// RootHalfWidth is the half-width of the level-0 box.
+	RootHalfWidth float64
+	// Tol is the relative truncation threshold of the pseudo-inverses.
+	Tol float64
+
+	homogeneous bool
+	homDeg      float64
+
+	mu     sync.Mutex
+	levels map[int]*levelOps
+}
+
+type levelOps struct {
+	mu       sync.Mutex
+	pinvUp   *linalg.Dense // UC check potential -> UE equivalent density
+	pinvDown *linalg.Dense // DC check potential -> DE equivalent density
+	m2m      [8]*linalg.Dense
+	l2l      [8]*linalg.Dense
+	m2l      map[[3]int]*linalg.Dense
+}
+
+// globalCache shares level operator sets across all Sets in the process,
+// keyed by (kernel, degree, truncation, box half-width). The expensive
+// pseudo-inverse factorizations are therefore computed once per geometry
+// no matter how many evaluators a benchmark sweep creates. All built-in
+// kernels are comparable value types, so they key a map directly.
+var (
+	globalMu    sync.Mutex
+	globalCache = map[globalKey]*levelOps{}
+)
+
+type globalKey struct {
+	kern   kernels.Kernel
+	p      int
+	tol    float64
+	radius float64
+}
+
+// unitLevel is the cache key used for homogeneous kernels, whose single
+// operator set is built for a box of half-width 1.
+const unitLevel = -1
+
+// NewSet prepares an operator cache. p is the surface degree (>= 3),
+// rootHalfWidth the level-0 box half-width, tol the pseudo-inverse
+// truncation (1e-10 is a good default).
+func NewSet(k kernels.Kernel, p int, rootHalfWidth, tol float64) (*Set, error) {
+	surf, err := surface.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if rootHalfWidth <= 0 {
+		return nil, fmt.Errorf("translate: root half-width must be positive")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	s := &Set{
+		Kern: k, Surf: surf, P: p,
+		RootHalfWidth: rootHalfWidth, Tol: tol,
+		levels: make(map[int]*levelOps),
+	}
+	s.homogeneous, s.homDeg = k.Homogeneity()
+	return s, nil
+}
+
+// EquivCount returns the number of equivalent-density values per box
+// (surface points times kernel source dimension).
+func (s *Set) EquivCount() int { return s.Surf.N * s.Kern.SourceDim() }
+
+// CheckCount returns the number of check-potential values per box.
+func (s *Set) CheckCount() int { return s.Surf.N * s.Kern.TargetDim() }
+
+// BoxHalfWidth returns the half-width of a box at the given level.
+func (s *Set) BoxHalfWidth(level int) float64 {
+	return s.RootHalfWidth / float64(uint64(1)<<uint(level))
+}
+
+// scaleFor returns (cacheKey, evalScale, pinvScale) for a level: for
+// homogeneous kernels the unit-scale operator is rescaled by r^deg
+// (evaluation direction) or r^-deg (inversion direction).
+func (s *Set) scaleFor(level int) (key int, eval, pinv float64) {
+	if !s.homogeneous {
+		return level, 1, 1
+	}
+	r := s.BoxHalfWidth(level)
+	return unitLevel, pow(r, s.homDeg), pow(r, -s.homDeg)
+}
+
+func pow(r, d float64) float64 {
+	// deg is a small integer for all supported kernels; avoid math.Pow in
+	// hot paths.
+	switch d {
+	case -1:
+		return 1 / r
+	case 0:
+		return 1
+	case 1:
+		return r
+	default:
+		p := 1.0
+		n := int(d)
+		for i := 0; i < abs(n); i++ {
+			p *= r
+		}
+		if n < 0 {
+			return 1 / p
+		}
+		return p
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+func (s *Set) level(key int) *levelOps {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.levels[key]
+	if !ok {
+		gk := globalKey{kern: s.Kern, p: s.P, tol: s.Tol, radius: s.geomRadius(key)}
+		globalMu.Lock()
+		l, ok = globalCache[gk]
+		if !ok {
+			l = &levelOps{m2l: make(map[[3]int]*linalg.Dense)}
+			globalCache[gk] = l
+		}
+		globalMu.Unlock()
+		s.levels[key] = l
+	}
+	return l
+}
+
+// geomRadius returns the box half-width the cached operators for cache
+// key are built with (1 for the homogeneous unit cache).
+func (s *Set) geomRadius(key int) float64 {
+	if key == unitLevel {
+		return 1
+	}
+	return s.BoxHalfWidth(key)
+}
+
+// kernelMatrix builds the dense interaction matrix from the source
+// surface (center cs, radius rs) to the target surface (ct, rt).
+func (s *Set) kernelMatrix(ct [3]float64, rt float64, cs [3]float64, rs float64) *linalg.Dense {
+	trg := s.Surf.Points(ct, rt, nil)
+	src := s.Surf.Points(cs, rs, nil)
+	m := linalg.NewDense(s.CheckCount(), s.EquivCount())
+	kernels.Matrix(s.Kern, trg, src, m.Data)
+	return m
+}
+
+// UpwardPinv returns the operator that turns an upward check potential
+// (on the UC surface) into the upward equivalent density (on UE) for a
+// box at the given level.
+func (s *Set) UpwardPinv(level int) Op {
+	key, _, pscale := s.scaleFor(level)
+	l := s.level(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pinvUp == nil {
+		r := s.geomRadius(key)
+		m := s.kernelMatrix([3]float64{}, surface.CheckRadius(r), [3]float64{}, surface.EquivRadius(s.P, r))
+		l.pinvUp = linalg.PseudoInverse(m, s.Tol)
+	}
+	return Op{M: l.pinvUp, Scale: pscale}
+}
+
+// DownwardPinv returns the operator that turns a downward check potential
+// (on DC) into the downward equivalent density (on DE).
+func (s *Set) DownwardPinv(level int) Op {
+	key, _, pscale := s.scaleFor(level)
+	l := s.level(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pinvDown == nil {
+		r := s.geomRadius(key)
+		m := s.kernelMatrix([3]float64{}, surface.EquivRadius(s.P, r), [3]float64{}, surface.CheckRadius(r))
+		l.pinvDown = linalg.PseudoInverse(m, s.Tol)
+	}
+	return Op{M: l.pinvDown, Scale: pscale}
+}
+
+// childCenter returns the center of child octant o for a parent of
+// half-width r centered at the origin (octant bit 2 = x, 1 = y, 0 = z,
+// matching morton.Key.Child).
+func childCenter(o int, r float64) [3]float64 {
+	h := r / 2
+	sign := func(bit int) float64 {
+		if o&bit != 0 {
+			return 1
+		}
+		return -1
+	}
+	return [3]float64{sign(4) * h, sign(2) * h, sign(1) * h}
+}
+
+// M2M returns the operator evaluating a child's upward equivalent density
+// (child at parentLevel+1, octant o) on the parent's upward check
+// surface. The caller then applies UpwardPinv(parentLevel).
+func (s *Set) M2M(parentLevel, octant int) Op {
+	key, escale, _ := s.scaleFor(parentLevel)
+	l := s.level(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m2m[octant] == nil {
+		r := s.geomRadius(key)
+		cc := childCenter(octant, r)
+		l.m2m[octant] = s.kernelMatrix(
+			[3]float64{}, surface.CheckRadius(r),
+			cc, surface.EquivRadius(s.P, r/2),
+		)
+	}
+	return Op{M: l.m2m[octant], Scale: escale}
+}
+
+// L2L returns the operator evaluating the parent's downward equivalent
+// density on the child's downward check surface (child octant o at level
+// parentLevel+1). The caller then applies DownwardPinv(parentLevel+1)
+// after accumulating all downward check contributions.
+func (s *Set) L2L(parentLevel, octant int) Op {
+	key, escale, _ := s.scaleFor(parentLevel)
+	l := s.level(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.l2l[octant] == nil {
+		r := s.geomRadius(key)
+		cc := childCenter(octant, r)
+		l.l2l[octant] = s.kernelMatrix(
+			cc, surface.EquivRadius(s.P, r/2),
+			[3]float64{}, surface.CheckRadius(r),
+		)
+	}
+	return Op{M: l.l2l[octant], Scale: escale}
+}
+
+// M2LDirect returns the dense operator evaluating a source box's upward
+// equivalent density on the downward check surface of a target box at
+// the same level, where k = targetCell - sourceCell is the integer
+// center offset in box widths (target center = source center + 2r*k).
+// Offsets must be V-list offsets: max |k| component in {2, 3}.
+func (s *Set) M2LDirect(level int, k [3]int) Op {
+	key, escale, _ := s.scaleFor(level)
+	l := s.level(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.m2l[k]
+	if !ok {
+		r := s.geomRadius(key)
+		ct := [3]float64{2 * r * float64(k[0]), 2 * r * float64(k[1]), 2 * r * float64(k[2])}
+		re := surface.EquivRadius(s.P, r)
+		m = s.kernelMatrix(ct, re, [3]float64{}, re)
+		l.m2l[k] = m
+	}
+	return Op{M: m, Scale: escale}
+}
+
+// UpwardEquivPoints writes the UE surface points of a box (center c,
+// half-width r) into dst (allocating if nil).
+func (s *Set) UpwardEquivPoints(c [3]float64, r float64, dst []float64) []float64 {
+	return s.Surf.Points(c, surface.EquivRadius(s.P, r), dst)
+}
+
+// UpwardCheckPoints writes the UC surface points of a box into dst.
+func (s *Set) UpwardCheckPoints(c [3]float64, r float64, dst []float64) []float64 {
+	return s.Surf.Points(c, surface.CheckRadius(r), dst)
+}
+
+// DownwardEquivPoints writes the DE surface points of a box into dst.
+func (s *Set) DownwardEquivPoints(c [3]float64, r float64, dst []float64) []float64 {
+	return s.Surf.Points(c, surface.CheckRadius(r), dst)
+}
+
+// DownwardCheckPoints writes the DC surface points of a box into dst.
+func (s *Set) DownwardCheckPoints(c [3]float64, r float64, dst []float64) []float64 {
+	return s.Surf.Points(c, surface.EquivRadius(s.P, r), dst)
+}

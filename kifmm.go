@@ -1,0 +1,167 @@
+// Package kifmm is a kernel-independent fast multipole method for
+// second-order constant-coefficient non-oscillatory elliptic PDE kernels
+// in three dimensions, reproducing Ying, Biros, Zorin & Langston, "A New
+// Parallel Kernel-Independent Fast Multipole Method" (SC 2003).
+//
+// The method computes, for N source densities φ_j at points y_j and
+// targets x_i,
+//
+//	u_i = Σ_j G(x_i, y_j) φ_j
+//
+// in O(N) time without any analytic expansion of the kernel G: multipole
+// and local expansions are replaced by equivalent densities on cube
+// surfaces, constructed by solving small exterior/interior Dirichlet
+// problems (regularized pseudo-inverses of kernel matrices), and the
+// multipole-to-local translations are accelerated with FFTs.
+//
+// Three kernels are built in — Laplace, modified Laplace (screened
+// Coulomb) and Stokes — and any kernels.Kernel implementation works.
+//
+// Basic use:
+//
+//	ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{Kernel: kifmm.Laplace()})
+//	pot, err := ev.Evaluate(densities)
+//
+// The parallel algorithm of the paper (local essential trees, global
+// tree array, owner-coordinated ghost exchange) runs on simulated MPI
+// ranks via EvaluateParallel.
+package kifmm
+
+import (
+	"repro/internal/direct"
+	"repro/internal/fmm"
+	"repro/internal/geom"
+	"repro/internal/kernels"
+	"repro/internal/mpi"
+	"repro/internal/parfmm"
+)
+
+// Kernel is the pairwise interaction kernel interface; see
+// internal/kernels for the contract.
+type Kernel = kernels.Kernel
+
+// Laplace returns the 3-D Laplace single-layer kernel 1/(4πr).
+func Laplace() Kernel { return kernels.Laplace{} }
+
+// ModLaplace returns the modified Laplace (screened Coulomb / Yukawa)
+// kernel e^(-λr)/(4πr).
+func ModLaplace(lambda float64) Kernel { return kernels.NewModLaplace(lambda) }
+
+// Stokes returns the Stokeslet kernel 1/(8πμ)(I/r + r⊗r/r³).
+func Stokes(mu float64) Kernel { return kernels.NewStokes(mu) }
+
+// Kelvin returns the 3-D linear-elasticity fundamental solution
+// (Kelvinlet) with shear modulus mu and Poisson ratio nu.
+func Kelvin(mu, nu float64) Kernel { return kernels.NewKelvin(mu, nu) }
+
+// KernelByName resolves "laplace", "modlaplace" or "stokes".
+func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
+
+// M2LBackend selects the multipole-to-local translation implementation.
+type M2LBackend = fmm.M2LBackend
+
+// M2L backends: the FFT path is the paper's choice; the dense path
+// trades higher flop rates for asymptotically more work (footnote 5).
+const (
+	M2LFFT   = fmm.M2LFFT
+	M2LDense = fmm.M2LDense
+)
+
+// Options configure an Evaluator. Zero values select the paper-matching
+// defaults: degree 6 surfaces (~1e-5 relative error for Laplace), leaf
+// threshold s=60, FFT M2L.
+type Options struct {
+	// Kernel is required.
+	Kernel Kernel
+	// Degree is the equivalent-surface degree p (points per cube edge).
+	Degree int
+	// MaxPoints is the maximum number of points per leaf box (s).
+	MaxPoints int
+	// MaxDepth caps the octree depth.
+	MaxDepth int
+	// Backend selects the M2L path.
+	Backend M2LBackend
+	// PinvTol is the pseudo-inverse truncation threshold.
+	PinvTol float64
+}
+
+// Evaluator is a prepared FMM: an adaptive octree over fixed source and
+// target points plus cached translation operators. Build once, call
+// Evaluate for every new density vector (e.g. per Krylov iteration).
+type Evaluator struct {
+	inner *fmm.Evaluator
+}
+
+// NewEvaluator builds the octree and operators over src and trg, flat
+// (x0,y0,z0,x1,...) coordinate slices which may be the same slice.
+func NewEvaluator(src, trg []float64, opt Options) (*Evaluator, error) {
+	inner, err := fmm.New(src, trg, fmm.Options{
+		Kernel: opt.Kernel, Degree: opt.Degree, MaxPoints: opt.MaxPoints,
+		MaxDepth: opt.MaxDepth, Backend: opt.Backend, PinvTol: opt.PinvTol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{inner: inner}, nil
+}
+
+// Evaluate computes the potentials induced by den (SourceDim components
+// per source, input order); the result has TargetDim components per
+// target in input order.
+func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
+	return e.inner.Evaluate(den)
+}
+
+// Stats returns the per-stage timing and flop breakdown of the most
+// recent Evaluate call.
+func (e *Evaluator) Stats() fmm.Stats { return e.inner.Stats() }
+
+// Boxes returns the number of octree boxes (diagnostics).
+func (e *Evaluator) Boxes() int { return len(e.inner.Tree.Boxes) }
+
+// Depth returns the octree depth.
+func (e *Evaluator) Depth() int { return e.inner.Tree.Depth() }
+
+// Direct computes the reference O(N²) summation (for verification).
+func Direct(k Kernel, trg, src, den []float64) ([]float64, error) {
+	return direct.Evaluate(k, trg, src, den)
+}
+
+// Patch re-exports the surface-patch input of the parallel driver.
+type Patch = geom.Patch
+
+// Machine re-exports the interconnect model of the MPI simulation.
+type Machine = mpi.Machine
+
+// DefaultMachine models a Quadrics-class interconnect (the paper's
+// TCS-1 platform).
+func DefaultMachine() Machine { return mpi.DefaultMachine() }
+
+// ParallelOptions configure EvaluateParallel.
+type ParallelOptions struct {
+	Options
+	// Machine models the interconnect (DefaultMachine when zero).
+	Machine Machine
+	// Iterations repeats and averages the interaction evaluation.
+	Iterations int
+}
+
+// ParallelResult re-exports the parallel run result (potentials plus
+// per-rank statistics).
+type ParallelResult = parfmm.Result
+
+// EvaluateParallel runs the paper's parallel algorithm on nproc
+// simulated MPI ranks. patches are the input surfaces (partitioned along
+// the Morton curve, weighted by particle count); den holds the densities
+// in the order of FlattenPatches(patches). Source and target sets are
+// identical, as in the paper's experiments.
+func EvaluateParallel(patches []Patch, den []float64, nproc int, opt ParallelOptions) (*ParallelResult, error) {
+	return parfmm.Evaluate(patches, den, nproc, parfmm.Options{
+		Kernel: opt.Kernel, Degree: opt.Degree, MaxPoints: opt.MaxPoints,
+		MaxDepth: opt.MaxDepth, Backend: opt.Backend, PinvTol: opt.PinvTol,
+		Machine: opt.Machine, Iterations: opt.Iterations,
+	})
+}
+
+// FlattenPatches concatenates patch points into one flat slice.
+func FlattenPatches(patches []Patch) []float64 { return geom.Flatten(patches) }

@@ -1,0 +1,28 @@
+package kifmm
+
+import "repro/internal/krylov"
+
+// The paper's applications wrap the FMM in a Krylov method: "at each
+// time step we solve a linear system that requires tens of interaction
+// calculations". These re-exports provide the solvers (the paper used
+// PETSc's).
+
+// MatVec is a black-box operator application dst = A*x.
+type MatVec = krylov.MatVec
+
+// SolverOptions control the Krylov iterations.
+type SolverOptions = krylov.Options
+
+// SolverResult reports Krylov convergence.
+type SolverResult = krylov.Result
+
+// SolveGMRES solves A x = b by restarted GMRES; x is the initial guess
+// and is overwritten with the solution.
+func SolveGMRES(apply MatVec, b, x []float64, opt SolverOptions) (SolverResult, error) {
+	return krylov.GMRES(apply, b, x, opt)
+}
+
+// SolveBiCGSTAB solves A x = b by BiCGSTAB.
+func SolveBiCGSTAB(apply MatVec, b, x []float64, opt SolverOptions) (SolverResult, error) {
+	return krylov.BiCGSTAB(apply, b, x, opt)
+}
