@@ -1,0 +1,186 @@
+// Package client is a thin Go client for the kifmm evaluation service
+// (cmd/kifmm-serve): register a geometry once, then stream density
+// vectors against the cached plan.
+//
+//	c := client.New("http://localhost:8080")
+//	plan, _ := c.RegisterPlan(ctx, client.PlanRequest{
+//		Src:    points,
+//		Kernel: client.KernelSpec{Name: "laplace"},
+//	})
+//	pot, _, _ := c.Evaluate(ctx, plan.ID, densities)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/service"
+)
+
+// Wire types, shared with the server.
+type (
+	// PlanRequest describes the geometry, kernel and options of a plan.
+	PlanRequest = service.PlanRequest
+	// KernelSpec names a kernel and its parameters.
+	KernelSpec = service.KernelSpec
+	// PlanInfo reports a registered plan.
+	PlanInfo = service.PlanInfo
+	// EvalStats is the per-stage timing breakdown of one evaluation.
+	EvalStats = service.EvalStats
+	// MetricsSnapshot mirrors the server's /debug/vars "kifmm" object.
+	MetricsSnapshot = service.MetricsSnapshot
+	// HealthResponse mirrors GET /healthz.
+	HealthResponse = service.HealthResponse
+)
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one kifmm-serve instance. It is safe for concurrent
+// use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transport limits, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: trimSlash(base), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// RegisterPlan registers (or resolves, if cached server-side) a plan.
+func (c *Client) RegisterPlan(ctx context.Context, req PlanRequest) (PlanInfo, error) {
+	var info PlanInfo
+	err := c.post(ctx, "/v1/plans", req, &info)
+	return info, err
+}
+
+// Evaluate computes potentials for den against a registered plan.
+func (c *Client) Evaluate(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, error) {
+	var resp service.EvaluateResponse
+	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate"
+	if err := c.post(ctx, path, service.EvaluateRequest{Densities: den}, &resp); err != nil {
+		return nil, EvalStats{}, err
+	}
+	return resp.Potentials, resp.Stats, nil
+}
+
+// EvaluateOnce registers the plan and evaluates in one round trip; the
+// plan stays cached server-side. It returns the plan id for follow-up
+// Evaluate calls.
+func (c *Client) EvaluateOnce(ctx context.Context, req PlanRequest, den []float64) (string, []float64, EvalStats, error) {
+	var resp service.EvaluateResponse
+	oneShot := service.OneShotRequest{PlanRequest: req, Densities: den}
+	if err := c.post(ctx, "/v1/evaluate", oneShot, &resp); err != nil {
+		return "", nil, EvalStats{}, err
+	}
+	return resp.PlanID, resp.Potentials, resp.Stats, nil
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	err := c.get(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches the "kifmm" object from /debug/vars.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var vars struct {
+		KIFMM MetricsSnapshot `json:"kifmm"`
+	}
+	if err := c.get(ctx, "/debug/vars", &vars); err != nil {
+		return MetricsSnapshot{}, err
+	}
+	return vars.KIFMM, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain to EOF before closing so the keep-alive connection returns
+	// to the pool instead of being discarded (json.Decoder stops at the
+	// end of the top-level value, short of the terminal chunk).
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := ""
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
+			if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+				msg = envelope.Error
+			} else {
+				msg = string(raw)
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	kifmm "repro"
+	"repro/internal/service"
+)
+
+// startServer runs a full service + HTTP stack and returns a client
+// bound to it: the end-to-end path the acceptance criteria exercise.
+func startServer(t *testing.T) *Client {
+	t.Helper()
+	ts := httptest.NewServer(service.NewServer(service.New(service.Config{})))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func TestEndToEndRoundTrip(t *testing.T) {
+	c := startServer(t)
+	ctx := context.Background()
+
+	patches := kifmm.UniformPatches(7, 300)
+	pts := kifmm.FlattenPatches(patches)
+	den := kifmm.RandomDensities(8, len(pts)/3, 1)
+
+	plan, err := c.RegisterPlan(ctx, PlanRequest{
+		Src:    pts,
+		Kernel: KernelSpec{Name: "laplace"},
+		Degree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cached {
+		t.Errorf("fresh plan reported cached")
+	}
+	if plan.SrcCount != len(pts)/3 {
+		t.Errorf("SrcCount = %d, want %d", plan.SrcCount, len(pts)/3)
+	}
+
+	got, stats, err := c.Evaluate(ctx, plan.ID, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalNanos <= 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+
+	want, err := kifmm.Direct(kifmm.Laplace(), pts, pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, denom := 0.0, 0.0
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		denom += want[i] * want[i]
+	}
+	if e := math.Sqrt(num / denom); e > 1e-4 {
+		t.Errorf("round-tripped potentials differ from Direct by %.3e", e)
+	}
+
+	// Second registration of the same geometry is served from cache.
+	again, err := c.RegisterPlan(ctx, PlanRequest{
+		Src:    pts,
+		Kernel: KernelSpec{Name: "laplace"},
+		Degree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != plan.ID {
+		t.Errorf("re-registration: %+v, want cached %s", again, plan.ID)
+	}
+
+	// One-shot path reuses the plan and agrees exactly.
+	id, pot, _, err := c.EvaluateOnce(ctx, PlanRequest{
+		Src:    pts,
+		Kernel: KernelSpec{Name: "laplace"},
+		Degree: 6,
+	}, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != plan.ID {
+		t.Errorf("one-shot plan id %s, want %s", id, plan.ID)
+	}
+	for i := range pot {
+		if pot[i] != got[i] {
+			t.Fatalf("one-shot potentials diverge at %d", i)
+		}
+	}
+
+	// Health and metrics read back through the client.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Plans != 1 {
+		t.Errorf("health = %+v", h)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PlansBuilt != 1 || m.Evaluations != 2 {
+		t.Errorf("metrics = %+v, want 1 plan built and 2 evaluations", m)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := startServer(t)
+	ctx := context.Background()
+
+	_, _, err := c.Evaluate(ctx, "no-such-plan", []float64{1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("unknown plan: err = %v, want *APIError with 404", err)
+	}
+
+	_, err = c.RegisterPlan(ctx, PlanRequest{Src: []float64{0, 0, 0}, Kernel: KernelSpec{Name: "warp"}})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Errorf("bad kernel: err = %v, want *APIError with 400", err)
+	}
+	if apiErr != nil && apiErr.Message == "" {
+		t.Errorf("error message not propagated")
+	}
+}

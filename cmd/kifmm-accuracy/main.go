@@ -19,7 +19,7 @@ func main() {
 	maxPts := flag.Int("s", 40, "max points per leaf box")
 	flag.Parse()
 
-	kernsNames := []string{"laplace", "modlaplace", "stokes"}
+	kernsNames := []string{"laplace", "modlaplace", "stokes", "kelvin"}
 	degrees := []int{4, 6, 8}
 	dists := []struct {
 		name    string

@@ -13,7 +13,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 20000, "number of particles")
-	kernel := flag.String("kernel", "laplace", "laplace | modlaplace | stokes")
+	kernel := flag.String("kernel", "laplace", "laplace | modlaplace | stokes | kelvin")
 	dist := flag.String("dist", "spheres", "spheres | corners | uniform")
 	degree := flag.Int("p", 6, "surface degree")
 	maxPts := flag.Int("s", 60, "max points per leaf box")

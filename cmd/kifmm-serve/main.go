@@ -1,0 +1,70 @@
+// Command kifmm-serve runs the FMM evaluation service: an HTTP server
+// holding an LRU cache of prepared evaluation plans (octree +
+// translation operators), so many callers amortize the expensive setup
+// the paper describes across their interaction evaluations.
+//
+// API:
+//
+//	POST /v1/plans               register geometry, get a plan id
+//	POST /v1/plans/{id}/evaluate densities -> potentials
+//	POST /v1/evaluate            one-shot register + evaluate
+//	GET  /healthz                liveness
+//	GET  /debug/vars             expvar metrics ("kifmm" key)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 32, "maximum number of cached plans (LRU)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent evaluations")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP write timeout")
+	flag.Parse()
+
+	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      service.NewServer(svc),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("kifmm-serve listening on %s (cache %d plans, %d workers)\n",
+			*addr, *cacheSize, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case sig := <-stop:
+		fmt.Printf("received %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package kifmm
+
+import "testing"
+
+func TestSpherePatches(t *testing.T) {
+	const (
+		n = 1000
+		g = 4
+		r = 0.1
+	)
+	patches := SpherePatches(1, n, g, r)
+	if len(patches) != g*g*g {
+		t.Fatalf("patch count = %d, want %d (one per sphere)", len(patches), g*g*g)
+	}
+	total := 0
+	for pi, p := range patches {
+		total += p.Count()
+		// Every point lies on the sphere of radius r around the patch
+		// center (up to rounding).
+		for i := 0; i < p.Count(); i++ {
+			dx := p.Points[3*i] - p.Center[0]
+			dy := p.Points[3*i+1] - p.Center[1]
+			dz := p.Points[3*i+2] - p.Center[2]
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < (r-1e-9)*(r-1e-9) || d2 > (r+1e-9)*(r+1e-9) {
+				t.Fatalf("patch %d point %d at distance² %g from center, want r=%g", pi, i, d2, r)
+			}
+		}
+	}
+	if total != n {
+		t.Errorf("total particles = %d, want %d", total, n)
+	}
+	checkBounds(t, FlattenPatches(patches), 1+r)
+}
+
+func TestCornerPatches(t *testing.T) {
+	const n = 800
+	patches := CornerPatches(2, n, 0.3)
+	if len(patches) != 64 {
+		t.Fatalf("patch count = %d, want 64 (8 corners x 8 slices)", len(patches))
+	}
+	pts := FlattenPatches(patches)
+	if len(pts) != 3*n {
+		t.Fatalf("total coordinates = %d, want %d", len(pts), 3*n)
+	}
+	checkBounds(t, pts, 1)
+	// The distribution clusters at the corners: every point is within the
+	// spread of some corner of [-1,1]³.
+	for i := 0; i < n; i++ {
+		x, y, z := pts[3*i], pts[3*i+1], pts[3*i+2]
+		d2 := (1 - abs(x)) * (1 - abs(x))
+		d2 += (1 - abs(y)) * (1 - abs(y))
+		d2 += (1 - abs(z)) * (1 - abs(z))
+		if d2 > 0.3*0.3+1e-12 {
+			t.Fatalf("point %d = (%g,%g,%g) has squared corner distance %g, want <= 0.09", i, x, y, z, d2)
+		}
+	}
+}
+
+func TestUniformPatches(t *testing.T) {
+	const n = 500
+	patches := UniformPatches(3, n)
+	if len(patches) != 1 {
+		t.Fatalf("patch count = %d, want 1", len(patches))
+	}
+	if patches[0].Count() != n {
+		t.Fatalf("particle count = %d, want %d", patches[0].Count(), n)
+	}
+	checkBounds(t, patches[0].Points, 1)
+}
+
+func TestRandomDensities(t *testing.T) {
+	den := RandomDensities(4, 100, 3)
+	if len(den) != 300 {
+		t.Fatalf("density length = %d, want 300", len(den))
+	}
+	for i, v := range den {
+		if v < 0 || v > 1 {
+			t.Fatalf("density %d = %g outside [0,1]", i, v)
+		}
+	}
+	// Deterministic per seed.
+	if again := RandomDensities(4, 100, 3); again[0] != den[0] || again[299] != den[299] {
+		t.Errorf("same seed produced different densities")
+	}
+	if other := RandomDensities(5, 100, 3); other[0] == den[0] {
+		t.Errorf("different seeds produced identical densities")
+	}
+}
+
+func checkBounds(t *testing.T, pts []float64, limit float64) {
+	t.Helper()
+	for i, v := range pts {
+		if v < -limit || v > limit {
+			t.Fatalf("coordinate %d = %g outside [%g,%g]", i, v, -limit, limit)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

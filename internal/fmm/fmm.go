@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/kernels"
+	"repro/internal/morton"
 	"repro/internal/translate"
 	"repro/internal/tree"
 )
@@ -96,6 +97,38 @@ type Evaluator struct {
 	stats Stats
 }
 
+// ApplyDefaults fills zero-valued options with the paper-matching
+// defaults (degree 6, leaf threshold 60, pinv tolerance 1e-10). It is
+// the single source of truth for defaulting: New and FromTree apply it,
+// and the plan-key hashing in the root package uses it so that options
+// which build identical evaluators identify the same plan. For that
+// reason it mirrors the exact coercion rules of the downstream
+// construction: tree.Build treats MaxPoints <= 0 as 60 and clamps
+// MaxDepth to (0, morton.MaxLevel], and translate.NewSet treats
+// PinvTol <= 0 as 1e-10. (Negative Degree is not coerced anywhere; it
+// fails surface construction and never produces an evaluator.)
+func ApplyDefaults(opt Options) Options {
+	if opt.Degree == 0 {
+		opt.Degree = 6
+	}
+	if opt.MaxPoints <= 0 {
+		opt.MaxPoints = 60
+	}
+	if opt.MaxDepth <= 0 || opt.MaxDepth > morton.MaxLevel {
+		opt.MaxDepth = morton.MaxLevel
+	}
+	if opt.PinvTol <= 0 {
+		opt.PinvTol = 1e-10
+	}
+	// Every backend other than M2LFFT takes the dense path (FromTree
+	// only checks == M2LFFT), so out-of-range values collapse onto
+	// M2LDense and hash identically to it.
+	if opt.Backend != M2LFFT {
+		opt.Backend = M2LDense
+	}
+	return opt
+}
+
 // New builds the octree over src and trg (flat x,y,z slices, which may be
 // the same set, as in the paper's experiments) and prepares the
 // translation operators.
@@ -103,15 +136,7 @@ func New(src, trg []float64, opt Options) (*Evaluator, error) {
 	if opt.Kernel == nil {
 		return nil, fmt.Errorf("fmm: Options.Kernel is required")
 	}
-	if opt.Degree == 0 {
-		opt.Degree = 6
-	}
-	if opt.MaxPoints == 0 {
-		opt.MaxPoints = 60
-	}
-	if opt.PinvTol == 0 {
-		opt.PinvTol = 1e-10
-	}
+	opt = ApplyDefaults(opt)
 	tr, err := tree.Build(src, trg, tree.Config{MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth})
 	if err != nil {
 		return nil, err
@@ -122,12 +147,7 @@ func New(src, trg []float64, opt Options) (*Evaluator, error) {
 // FromTree wraps an existing octree (used by the parallel driver, which
 // builds its local essential tree separately).
 func FromTree(tr *tree.Tree, opt Options) (*Evaluator, error) {
-	if opt.Degree == 0 {
-		opt.Degree = 6
-	}
-	if opt.PinvTol == 0 {
-		opt.PinvTol = 1e-10
-	}
+	opt = ApplyDefaults(opt)
 	ops, err := translate.NewSet(opt.Kernel, opt.Degree, tr.HalfWidth, opt.PinvTol)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,161 @@
+// Package service is the serving layer over the kifmm library: a keyed
+// cache of prepared Evaluators (plans) with singleflight construction, a
+// bounded worker pool for concurrent evaluations, and an HTTP JSON API.
+//
+// The paper's workloads amortize the expensive octree and
+// translation-operator setup over "tens of interaction calculations";
+// the plan cache extends that amortization across callers: every client
+// registering the same (geometry, kernel, options) tuple shares one
+// prepared plan, identified by a content hash (kifmm.PlanKey).
+package service
+
+import (
+	"fmt"
+
+	kifmm "repro"
+	"repro/internal/fmm"
+	"repro/internal/kernels"
+)
+
+// KernelSpec names a kernel and its parameters (the wire form; see
+// internal/kernels.Spec).
+type KernelSpec = kernels.Spec
+
+// PlanRequest describes an evaluation plan: the geometry, the kernel
+// (by serializable spec) and the tree/operator options. It is the JSON
+// body of POST /v1/plans.
+type PlanRequest struct {
+	// Src holds flat (x0,y0,z0,x1,...) source coordinates.
+	Src []float64 `json:"src"`
+	// Trg holds flat target coordinates; empty means "same as Src"
+	// (the paper's usual setup).
+	Trg []float64 `json:"trg,omitempty"`
+	// Kernel names the interaction kernel and its parameters.
+	Kernel kernels.Spec `json:"kernel"`
+	// Degree is the equivalent-surface degree p (0 = default 6).
+	Degree int `json:"degree,omitempty"`
+	// MaxPoints is the leaf threshold s (0 = default 60).
+	MaxPoints int `json:"max_points,omitempty"`
+	// MaxDepth caps the octree depth (0 = uncapped).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// Backend selects the M2L path: "", "fft" or "dense".
+	Backend string `json:"backend,omitempty"`
+	// PinvTol is the pseudo-inverse truncation (0 = default 1e-10).
+	PinvTol float64 `json:"pinv_tol,omitempty"`
+}
+
+// options converts the request into library options, validating the
+// kernel spec and backend name.
+func (r *PlanRequest) options() (kifmm.Options, error) {
+	k, err := kernels.FromSpec(r.Kernel)
+	if err != nil {
+		return kifmm.Options{}, err
+	}
+	var backend kifmm.M2LBackend
+	switch r.Backend {
+	case "", "fft":
+		backend = kifmm.M2LFFT
+	case "dense":
+		backend = kifmm.M2LDense
+	default:
+		return kifmm.Options{}, fmt.Errorf("service: unknown M2L backend %q (want \"fft\" or \"dense\")", r.Backend)
+	}
+	return kifmm.Options{
+		Kernel: k, Degree: r.Degree, MaxPoints: r.MaxPoints,
+		MaxDepth: r.MaxDepth, Backend: backend, PinvTol: r.PinvTol,
+	}, nil
+}
+
+// PlanInfo reports a registered plan.
+type PlanInfo struct {
+	// ID is the content-hash plan key; pass it to /v1/plans/{id}/evaluate.
+	ID string `json:"plan_id"`
+	// Cached reports whether the plan already existed (cache hit or
+	// coalesced onto a concurrent build).
+	Cached bool `json:"cached"`
+	// Kernel echoes the plan's kernel spec, so clients holding only a
+	// plan id can recover what it computes.
+	Kernel kernels.Spec `json:"kernel"`
+	// Boxes and Depth describe the octree.
+	Boxes int `json:"boxes"`
+	Depth int `json:"depth"`
+	// SrcCount/TrgCount are point counts; SourceDim/TargetDim are the
+	// kernel's density/potential component counts per point.
+	SrcCount  int `json:"src_count"`
+	TrgCount  int `json:"trg_count"`
+	SourceDim int `json:"source_dim"`
+	TargetDim int `json:"target_dim"`
+	// BuildNanos is the plan construction time (0 when Cached).
+	BuildNanos int64 `json:"build_ns,omitempty"`
+}
+
+// EvaluateRequest is the JSON body of POST /v1/plans/{id}/evaluate.
+type EvaluateRequest struct {
+	// Densities holds SourceDim components per source in input order.
+	Densities []float64 `json:"densities"`
+}
+
+// EvalStats is the wire form of the per-stage evaluation breakdown
+// (fmm.Stats), in nanoseconds.
+type EvalStats struct {
+	UpNanos    int64 `json:"up_ns"`
+	DownUNanos int64 `json:"down_u_ns"`
+	DownVNanos int64 `json:"down_v_ns"`
+	DownWNanos int64 `json:"down_w_ns"`
+	DownXNanos int64 `json:"down_x_ns"`
+	EvalNanos  int64 `json:"eval_ns"`
+	TotalNanos int64 `json:"total_ns"`
+	Flops      int64 `json:"flops"`
+}
+
+func statsWire(s fmm.Stats) EvalStats {
+	return EvalStats{
+		UpNanos:    s.Up.Nanoseconds(),
+		DownUNanos: s.DownU.Nanoseconds(),
+		DownVNanos: s.DownV.Nanoseconds(),
+		DownWNanos: s.DownW.Nanoseconds(),
+		DownXNanos: s.DownX.Nanoseconds(),
+		EvalNanos:  s.Eval.Nanoseconds(),
+		TotalNanos: s.Total().Nanoseconds(),
+		Flops:      s.Flops(),
+	}
+}
+
+// EvaluateResponse carries the potentials (TargetDim components per
+// target, input order) and the per-stage timing of this evaluation.
+type EvaluateResponse struct {
+	PlanID     string    `json:"plan_id"`
+	Potentials []float64 `json:"potentials"`
+	Stats      EvalStats `json:"stats"`
+}
+
+// OneShotRequest is the JSON body of POST /v1/evaluate: a plan plus the
+// densities, evaluated in one round trip (the plan is still cached).
+type OneShotRequest struct {
+	PlanRequest
+	Densities []float64 `json:"densities"`
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Plans         int     `json:"plans"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// MetricsSnapshot is a point-in-time view of the service counters,
+// served under "kifmm" at GET /debug/vars.
+type MetricsSnapshot struct {
+	// Plan-cache counters.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	PlansBuilt     int64 `json:"plans_built"`
+	PlansEvicted   int64 `json:"plans_evicted"`
+	BuildCoalesced int64 `json:"build_coalesced"`
+	PlansLive      int   `json:"plans_live"`
+	BuildNanos     int64 `json:"build_ns"`
+	// Evaluation counters.
+	Evaluations int64     `json:"evaluations"`
+	EvalErrors  int64     `json:"eval_errors"`
+	Stages      EvalStats `json:"stage_totals"`
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	kifmm "repro"
+	"repro/internal/kernels"
+)
+
+// plan is a prepared evaluator plus the immutable facts needed to
+// validate and describe requests against it.
+type plan struct {
+	id        string
+	ev        *kifmm.Evaluator
+	spec      kernels.Spec
+	srcCount  int
+	trgCount  int
+	sourceDim int
+	targetDim int
+	buildNS   int64
+
+	// mu serializes Evaluate calls that share this evaluator; the
+	// underlying fmm.Evaluator mutates per-call state (stats), so a plan
+	// admits one evaluation at a time while distinct plans run
+	// concurrently under the service worker pool.
+	mu sync.Mutex
+}
+
+func (p *plan) info(cached bool) PlanInfo {
+	inf := PlanInfo{
+		ID: p.id, Cached: cached, Kernel: p.spec,
+		Boxes: p.ev.Boxes(), Depth: p.ev.Depth(),
+		SrcCount: p.srcCount, TrgCount: p.trgCount,
+		SourceDim: p.sourceDim, TargetDim: p.targetDim,
+	}
+	if !cached {
+		inf.BuildNanos = p.buildNS
+	}
+	return inf
+}
+
+// planCache is an LRU map from plan key to prepared plan. It is not
+// goroutine safe; the Service guards it with its own mutex.
+type planCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the plan and marks it most recently used.
+func (c *planCache) get(id string) (*plan, bool) {
+	el, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*plan), true
+}
+
+// add inserts p as most recently used and returns the evicted plan, if
+// the cache was at capacity. Adding an existing key just refreshes it.
+func (c *planCache) add(p *plan) *plan {
+	if el, ok := c.items[p.id]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = p
+		return nil
+	}
+	c.items[p.id] = c.ll.PushFront(p)
+	if c.ll.Len() <= c.capacity {
+		return nil
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	victim := oldest.Value.(*plan)
+	delete(c.items, victim.id)
+	return victim
+}
+
+func (c *planCache) len() int { return c.ll.Len() }

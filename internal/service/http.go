@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies (geometry and densities are flat
+// float arrays; 256 MiB admits tens of millions of points).
+const maxBodyBytes = 256 << 20
+
+// Server exposes a Service over HTTP:
+//
+//	POST /v1/plans               register geometry     -> PlanInfo
+//	POST /v1/plans/{id}/evaluate densities->potentials -> EvaluateResponse
+//	POST /v1/evaluate            one-shot plan+eval    -> EvaluateResponse
+//	GET  /healthz                liveness              -> HealthResponse
+//	GET  /debug/vars             expvar + "kifmm" metrics
+type Server struct {
+	svc   *Service
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps svc in an HTTP handler.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleOneShot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals before writing the header, so a
+// JSON-unrepresentable value (e.g. Inf potentials from overflowing
+// densities) surfaces as a 500 instead of a 200 with an empty body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("service: encoding response: %s", err)})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(raw)
+	_, _ = w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrPlanNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("service: request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeError(w, badRequest("decoding body: %s", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	info, err := s.svc.Register(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusCreated
+	if info.Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req EvaluateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	pot, st, err := s.svc.Evaluate(id, req.Densities)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{PlanID: id, Potentials: pot, Stats: st})
+}
+
+func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
+	var req OneShotRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	info, pot, st, err := s.svc.EvaluateOnce(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{PlanID: info.ID, Potentials: pot, Stats: st})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Plans:         s.svc.Plans(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleVars serves the process-global expvar variables (cmdline,
+// memstats, anything else published) plus this service's counters under
+// the "kifmm" key, in the standard /debug/vars JSON shape.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "kifmm" {
+			return // ours below, from this server's service
+		}
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	raw, err := json.Marshal(s.svc.Metrics())
+	if err == nil {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", "kifmm", raw)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}

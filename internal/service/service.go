@@ -1,0 +1,378 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kifmm "repro"
+	"repro/internal/fmm"
+	"repro/internal/kernels"
+	"repro/internal/morton"
+)
+
+// ErrPlanNotFound reports an evaluation against an unknown (or evicted)
+// plan id; the HTTP layer maps it to 404.
+var ErrPlanNotFound = errors.New("service: plan not found")
+
+// ErrBadRequest wraps client-side input errors; the HTTP layer maps it
+// to 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// ErrInternal wraps server-side failures (e.g. a recovered panic during
+// plan construction); the HTTP layer maps it to 500 so monitoring sees
+// a server defect, not a client mistake.
+var ErrInternal = errors.New("service: internal error")
+
+func badRequest(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize is the maximum number of cached plans (default 32).
+	// Eviction is LRU; an evicted plan finishes in-flight evaluations
+	// but is no longer addressable by id.
+	CacheSize int
+	// Workers bounds the number of concurrently running Evaluate calls
+	// across all plans (default GOMAXPROCS). Calls beyond the bound
+	// queue; calls sharing one plan additionally serialize on it.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// buildCall is one in-flight plan construction; concurrent Register
+// calls for the same key wait on done instead of building again.
+type buildCall struct {
+	done chan struct{}
+	plan *plan
+	err  error
+}
+
+// Service owns the plan cache, the singleflight build table and the
+// evaluation worker pool. It is safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cache    *planCache
+	building map[string]*buildCall
+
+	sem chan struct{} // worker-pool slots
+
+	// Counters (atomic.Int64 for guaranteed 64-bit alignment on 32-bit
+	// platforms; see MetricsSnapshot for meanings).
+	hits, misses, built, evicted, coalesced atomic.Int64
+	buildNS                                 atomic.Int64
+	evaluations, evalErrors                 atomic.Int64
+	stageUp, stageDownU, stageDownV,
+	stageDownW, stageDownX, stageEval, flops atomic.Int64
+}
+
+// New returns a ready Service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		cache:    newPlanCache(cfg.CacheSize),
+		building: make(map[string]*buildCall),
+		sem:      make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Register resolves req to a cached plan or builds one, coalescing
+// concurrent builds of the same key into a single construction.
+func (s *Service) Register(req PlanRequest) (PlanInfo, error) {
+	p, cached, err := s.register(req)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	return p.info(cached), nil
+}
+
+// register is the plan-resolving core shared by Register and
+// EvaluateOnce; it returns the plan itself so one-shot callers are
+// immune to the plan being LRU-evicted between registration and
+// evaluation.
+func (s *Service) register(req PlanRequest) (*plan, bool, error) {
+	src, trg, opt, key, err := s.resolve(req)
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	if p, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	if c, ok := s.building[key]; ok {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		return c.plan, true, nil
+	}
+	s.misses.Add(1)
+	c := &buildCall{done: make(chan struct{})}
+	s.building[key] = c
+	s.mu.Unlock()
+
+	s.runBuild(key, c, src, trg, opt)
+
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	return c.plan, false, nil
+}
+
+// runBuild executes one singleflight plan construction. All cleanup —
+// worker-slot release, building-table removal, closing c.done — runs in
+// defers so a panicking build cannot leak a pool slot or leave waiters
+// blocked on c.done forever.
+func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kifmm.Options) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.plan, c.err = nil, fmt.Errorf("%w: plan build panicked: %v", ErrInternal, r)
+		}
+		s.mu.Lock()
+		delete(s.building, key)
+		if c.err == nil {
+			s.built.Add(1)
+			s.buildNS.Add(c.plan.buildNS)
+			if victim := s.cache.add(c.plan); victim != nil {
+				s.evicted.Add(1)
+			}
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	// Builds are the expensive step (octree + operator setup); bound
+	// their concurrency with the same worker pool as evaluations so a
+	// burst of distinct registrations cannot saturate the machine.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	c.plan, c.err = s.build(key, src, trg, opt)
+}
+
+// resolve validates the request and computes the content-hash plan key.
+func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Options, key string, err error) {
+	src = req.Src
+	if len(src) == 0 || len(src)%3 != 0 {
+		return nil, nil, opt, "", badRequest("src needs 3k > 0 coordinates, got %d", len(src))
+	}
+	if err := checkCoordinates("src", src); err != nil {
+		return nil, nil, opt, "", err
+	}
+	trg = req.Trg
+	if len(trg) == 0 {
+		trg = src
+	} else if len(trg)%3 != 0 {
+		return nil, nil, opt, "", badRequest("trg needs 3k coordinates, got %d", len(trg))
+	} else if err := checkCoordinates("trg", trg); err != nil {
+		return nil, nil, opt, "", err
+	}
+	if err := checkOptionBounds(req); err != nil {
+		return nil, nil, opt, "", err
+	}
+	opt, err = req.options()
+	if err != nil {
+		return nil, nil, opt, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	key, err = kifmm.PlanKey(src, trg, opt)
+	if err != nil {
+		return nil, nil, opt, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	return src, trg, opt, key, nil
+}
+
+// Option bounds enforced on network input. Surface construction costs
+// grow like Degree^4 in memory and worse in time, so an uncapped degree
+// from an untrusted request could wedge a worker slot near-forever;
+// zero always means "library default".
+const (
+	maxRequestDegree    = 16
+	maxRequestMaxPoints = 100000
+	maxRequestMaxDepth  = morton.MaxLevel
+)
+
+// maxCoordinate bounds input coordinates. Tree construction computes
+// the bounding-cube half width (hi-lo)/2 and squared pair distances;
+// magnitudes up to 1e150 keep both finite (4e300 < MaxFloat64), while
+// larger values overflow the half width to Inf, collapse every Morton
+// cell to NaN and poison the cached plan with NaN operators.
+const maxCoordinate = 1e150
+
+func checkCoordinates(name string, pts []float64) error {
+	for i, v := range pts {
+		if math.IsNaN(v) || v < -maxCoordinate || v > maxCoordinate {
+			return badRequest("%s coordinate %d is %g, want finite values in [-%g, %g]",
+				name, i, v, maxCoordinate, maxCoordinate)
+		}
+	}
+	return nil
+}
+
+func checkOptionBounds(req PlanRequest) error {
+	if req.Degree < 0 || req.Degree > maxRequestDegree {
+		return badRequest("degree %d outside [0, %d]", req.Degree, maxRequestDegree)
+	}
+	if req.MaxPoints < 0 || req.MaxPoints > maxRequestMaxPoints {
+		return badRequest("max_points %d outside [0, %d]", req.MaxPoints, maxRequestMaxPoints)
+	}
+	if req.MaxDepth < 0 || req.MaxDepth > maxRequestMaxDepth {
+		return badRequest("max_depth %d outside [0, %d]", req.MaxDepth, maxRequestMaxDepth)
+	}
+	if math.IsNaN(req.PinvTol) || req.PinvTol < 0 || req.PinvTol >= 1 {
+		return badRequest("pinv_tol %g outside [0, 1)", req.PinvTol)
+	}
+	return nil
+}
+
+// build constructs the evaluator (outside the service lock: tree and
+// operator setup is the expensive amortized step). The plan stores the
+// normalized kernel spec — explicit parameters regardless of how the
+// registering client spelled them — so the PlanInfo echo is independent
+// of registration order.
+func (s *Service) build(key string, src, trg []float64, opt kifmm.Options) (*plan, error) {
+	spec, err := kernels.SpecFor(opt.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	start := time.Now()
+	ev, err := kifmm.NewEvaluator(src, trg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	return &plan{
+		id: key, ev: ev, spec: spec,
+		srcCount: len(src) / 3, trgCount: len(trg) / 3,
+		sourceDim: opt.Kernel.SourceDim(), targetDim: opt.Kernel.TargetDim(),
+		buildNS: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// Evaluate runs one density→potential evaluation on a registered plan.
+func (s *Service) Evaluate(planID string, den []float64) ([]float64, EvalStats, error) {
+	s.mu.Lock()
+	p, ok := s.cache.get(planID)
+	s.mu.Unlock()
+	if !ok {
+		return nil, EvalStats{}, fmt.Errorf("%w: %q", ErrPlanNotFound, planID)
+	}
+	return s.evaluatePlan(p, den)
+}
+
+// evaluatePlan blocks for exclusive use of the plan first and only then
+// for a worker-pool slot, so a queue of evaluations on one hot plan
+// waits on that plan's mutex without occupying pool slots — evaluations
+// of other plans keep running.
+func (s *Service) evaluatePlan(p *plan, den []float64) ([]float64, EvalStats, error) {
+	if want := p.srcCount * p.sourceDim; len(den) != want {
+		s.evalErrors.Add(1)
+		return nil, EvalStats{}, badRequest("densities length %d, want %d (%d sources x %d components)",
+			len(den), want, p.srcCount, p.sourceDim)
+	}
+
+	pot, st, err := func() (pot []float64, st fmm.Stats, err error) {
+		// Mirror runBuild's panic safety: release the plan mutex and the
+		// worker slot in defers so a panic in the numeric evaluation path
+		// cannot wedge the plan or shrink the pool.
+		defer func() {
+			if r := recover(); r != nil {
+				pot, err = nil, fmt.Errorf("%w: evaluation panicked: %v", ErrInternal, r)
+			}
+		}()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		pot, err = p.ev.Evaluate(den)
+		return pot, p.ev.Stats(), err
+	}()
+	if err != nil {
+		s.evalErrors.Add(1)
+		if errors.Is(err, ErrInternal) {
+			return nil, EvalStats{}, err
+		}
+		return nil, EvalStats{}, badRequest("%s", err)
+	}
+	s.recordStats(st)
+	return pot, statsWire(st), nil
+}
+
+// EvaluateOnce registers (or resolves) the plan and evaluates in one
+// call; the plan stays cached for future requests. The evaluation runs
+// against the plan returned by registration, so it cannot miss even if
+// the plan is concurrently evicted from the cache.
+func (s *Service) EvaluateOnce(req OneShotRequest) (PlanInfo, []float64, EvalStats, error) {
+	p, cached, err := s.register(req.PlanRequest)
+	if err != nil {
+		return PlanInfo{}, nil, EvalStats{}, err
+	}
+	pot, st, err := s.evaluatePlan(p, req.Densities)
+	if err != nil {
+		return PlanInfo{}, nil, EvalStats{}, err
+	}
+	return p.info(cached), pot, st, nil
+}
+
+// Plans returns the number of live cached plans.
+func (s *Service) Plans() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+func (s *Service) recordStats(st fmm.Stats) {
+	s.evaluations.Add(1)
+	s.stageUp.Add(st.Up.Nanoseconds())
+	s.stageDownU.Add(st.DownU.Nanoseconds())
+	s.stageDownV.Add(st.DownV.Nanoseconds())
+	s.stageDownW.Add(st.DownW.Nanoseconds())
+	s.stageDownX.Add(st.DownX.Nanoseconds())
+	s.stageEval.Add(st.Eval.Nanoseconds())
+	s.flops.Add(st.Flops())
+}
+
+// Metrics returns a consistent-enough snapshot of the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	up := s.stageUp.Load()
+	du := s.stageDownU.Load()
+	dv := s.stageDownV.Load()
+	dw := s.stageDownW.Load()
+	dx := s.stageDownX.Load()
+	ev := s.stageEval.Load()
+	return MetricsSnapshot{
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		PlansBuilt:     s.built.Load(),
+		PlansEvicted:   s.evicted.Load(),
+		BuildCoalesced: s.coalesced.Load(),
+		PlansLive:      s.Plans(),
+		BuildNanos:     s.buildNS.Load(),
+		Evaluations:    s.evaluations.Load(),
+		EvalErrors:     s.evalErrors.Load(),
+		Stages: EvalStats{
+			UpNanos: up, DownUNanos: du, DownVNanos: dv,
+			DownWNanos: dw, DownXNanos: dx, EvalNanos: ev,
+			TotalNanos: up + du + dv + dw + dx + ev,
+			Flops:      s.flops.Load(),
+		},
+	}
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	kifmm "repro"
+	"repro/internal/kernels"
+)
+
+// cloudRequest builds a deterministic point cloud distinct per seed.
+func cloudRequest(seed, n int) PlanRequest {
+	pts := make([]float64, 3*n)
+	state := uint64(seed)*2654435761 + 1
+	for i := range pts {
+		state = state*6364136223846793005 + 1442695040888963407
+		pts[i] = float64(state>>11)/float64(1<<53)*2 - 1
+	}
+	return PlanRequest{
+		Src:    pts,
+		Kernel: kernels.Spec{Name: "laplace"},
+		Degree: 4, MaxPoints: 40,
+	}
+}
+
+func densitiesFor(req PlanRequest, dim int) []float64 {
+	n := len(req.Src) / 3 * dim
+	den := make([]float64, n)
+	for i := range den {
+		den[i] = float64(i%13)/13 + 0.1
+	}
+	return den
+}
+
+func relErr(got, want []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestSingleflightBuildsOnePlan(t *testing.T) {
+	svc := New(Config{CacheSize: 4})
+	req := cloudRequest(1, 600)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	infos := make([]PlanInfo, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			infos[i], errs[i] = svc.Register(req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	for i := 1; i < callers; i++ {
+		if infos[i].ID != infos[0].ID {
+			t.Fatalf("caller %d got plan %s, caller 0 got %s", i, infos[i].ID, infos[0].ID)
+		}
+	}
+	m := svc.Metrics()
+	if m.PlansBuilt != 1 {
+		t.Errorf("PlansBuilt = %d, want 1 (singleflight)", m.PlansBuilt)
+	}
+	if m.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want 1", m.CacheMisses)
+	}
+	if m.CacheHits+m.BuildCoalesced != callers-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d",
+			m.CacheHits, m.BuildCoalesced, m.CacheHits+m.BuildCoalesced, callers-1)
+	}
+
+	// A later identical registration is a pure cache hit.
+	hitsBefore := m.CacheHits
+	info, err := svc.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cached {
+		t.Errorf("re-registration not served from cache")
+	}
+	if m = svc.Metrics(); m.CacheHits != hitsBefore+1 {
+		t.Errorf("CacheHits = %d, want %d", m.CacheHits, hitsBefore+1)
+	}
+	if m.PlansBuilt != 1 {
+		t.Errorf("PlansBuilt grew to %d on a cache hit", m.PlansBuilt)
+	}
+}
+
+func TestEvaluateMatchesDirect(t *testing.T) {
+	svc := New(Config{})
+	req := cloudRequest(2, 400)
+	req.Degree = 6
+
+	info, err := svc.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SourceDim != 1 || info.TargetDim != 1 {
+		t.Fatalf("laplace dims = %d/%d, want 1/1", info.SourceDim, info.TargetDim)
+	}
+	if info.Kernel.Name != "laplace" {
+		t.Errorf("plan info kernel echo = %+v, want laplace", info.Kernel)
+	}
+
+	// The kernel echo is normalized: defaulted parameters come back
+	// explicit, independent of how the client spelled the spec.
+	stokes, err := svc.Register(PlanRequest{Src: req.Src, Kernel: kernels.Spec{Name: "stokes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu := stokes.Kernel.Params["mu"]; mu != 1 {
+		t.Errorf("stokes echo params = %v, want explicit mu=1", stokes.Kernel.Params)
+	}
+	den := densitiesFor(req, info.SourceDim)
+	got, st, err := svc.Evaluate(info.ID, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalNanos <= 0 {
+		t.Errorf("evaluation stats empty: %+v", st)
+	}
+
+	k, err := kernels.FromSpec(req.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kifmm.Direct(k, req.Src, req.Src, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > 1e-4 {
+		t.Errorf("relative error vs direct summation %.3e, want <= 1e-4 at degree 6", e)
+	}
+
+	m := svc.Metrics()
+	if m.Evaluations != 1 {
+		t.Errorf("Evaluations = %d, want 1", m.Evaluations)
+	}
+	if m.Stages.TotalNanos <= 0 {
+		t.Errorf("stage totals not recorded: %+v", m.Stages)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	svc := New(Config{CacheSize: 2})
+
+	var ids []string
+	for seed := 1; seed <= 3; seed++ {
+		info, err := svc.Register(cloudRequest(seed, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	if n := svc.Plans(); n != 2 {
+		t.Errorf("live plans = %d, want capacity 2", n)
+	}
+	m := svc.Metrics()
+	if m.PlansEvicted != 1 {
+		t.Errorf("PlansEvicted = %d, want 1", m.PlansEvicted)
+	}
+
+	// The oldest plan is gone; the two recent ones still evaluate.
+	den := densitiesFor(cloudRequest(1, 120), 1)
+	if _, _, err := svc.Evaluate(ids[0], den); !errors.Is(err, ErrPlanNotFound) {
+		t.Errorf("evicted plan: err = %v, want ErrPlanNotFound", err)
+	}
+	for _, id := range ids[1:] {
+		if _, _, err := svc.Evaluate(id, den); err != nil {
+			t.Errorf("live plan %s: %v", id, err)
+		}
+	}
+
+	// Touching the LRU order changes the next victim: re-register plan 2
+	// (hit), then a fresh plan must evict plan 3.
+	if _, err := svc.Register(cloudRequest(2, 120)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register(cloudRequest(4, 120)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Evaluate(ids[2], den); !errors.Is(err, ErrPlanNotFound) {
+		t.Errorf("plan 3 should be the LRU victim, err = %v", err)
+	}
+	if _, _, err := svc.Evaluate(ids[1], den); err != nil {
+		t.Errorf("plan 2 was touched and must survive: %v", err)
+	}
+}
+
+func TestConcurrentEvaluations(t *testing.T) {
+	svc := New(Config{Workers: 4})
+
+	// Two plans; hammer both concurrently and check every result against
+	// a per-plan reference. Calls sharing a plan serialize internally.
+	type fixture struct {
+		id   string
+		den  []float64
+		want []float64
+	}
+	var fixtures []fixture
+	for seed := 1; seed <= 2; seed++ {
+		req := cloudRequest(seed, 200)
+		info, err := svc.Register(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		den := densitiesFor(req, 1)
+		k, _ := kernels.FromSpec(req.Kernel)
+		want, err := kifmm.Direct(k, req.Src, req.Src, den)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, fixture{info.ID, den, want})
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*rounds)
+	for _, f := range fixtures {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(f fixture) {
+				defer wg.Done()
+				got, _, err := svc.Evaluate(f.id, f.den)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if e := relErr(got, f.want); e > 1e-2 {
+					errc <- fmt.Errorf("plan %s: error %.3e under concurrency", f.id, e)
+				}
+			}(f)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if m := svc.Metrics(); m.Evaluations != 2*rounds {
+		t.Errorf("Evaluations = %d, want %d", m.Evaluations, 2*rounds)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	svc := New(Config{})
+	cases := []PlanRequest{
+		{Kernel: kernels.Spec{Name: "laplace"}},                                              // no geometry
+		{Src: []float64{1, 2}, Kernel: kernels.Spec{Name: "laplace"}},                        // not 3k
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "nope"}},                        // bad kernel
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Backend: "quantum"}, // bad backend
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: 1000000},    // degree bomb
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: -1},
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxPoints: -5},
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxDepth: 99},
+		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, PinvTol: 2},
+		{Src: []float64{1e308, 0, 0, -1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}},            // bounding cube overflows
+		{Src: []float64{math.NaN(), 0, 0}, Kernel: kernels.Spec{Name: "laplace"}},                     // NaN coordinate
+		{Src: []float64{0, 0, 0}, Trg: []float64{1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}}, // bad trg
+	}
+	for i, req := range cases {
+		if _, err := svc.Register(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("case %d: err = %v, want ErrBadRequest", i, err)
+		}
+	}
+
+	req := cloudRequest(1, 90)
+	info, err := svc.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Evaluate(info.ID, make([]float64, 7)); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad density length: err = %v, want ErrBadRequest", err)
+	}
+}

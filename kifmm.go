@@ -14,8 +14,9 @@
 // problems (regularized pseudo-inverses of kernel matrices), and the
 // multipole-to-local translations are accelerated with FFTs.
 //
-// Three kernels are built in — Laplace, modified Laplace (screened
-// Coulomb) and Stokes — and any kernels.Kernel implementation works.
+// Four kernels are built in — Laplace, modified Laplace (screened
+// Coulomb), Stokes and Kelvin — and any kernels.Kernel implementation
+// works.
 //
 // Basic use:
 //
@@ -54,7 +55,7 @@ func Stokes(mu float64) Kernel { return kernels.NewStokes(mu) }
 // (Kelvinlet) with shear modulus mu and Poisson ratio nu.
 func Kelvin(mu, nu float64) Kernel { return kernels.NewKelvin(mu, nu) }
 
-// KernelByName resolves "laplace", "modlaplace" or "stokes".
+// KernelByName resolves "laplace", "modlaplace", "stokes" or "kelvin".
 func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
 
 // M2LBackend selects the multipole-to-local translation implementation.

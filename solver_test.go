@@ -1,0 +1,118 @@
+package kifmm
+
+import (
+	"math"
+	"testing"
+)
+
+// testSystem returns a small symmetric positive-definite system
+// (diagonally dominant tridiagonal), its right-hand side for a known
+// solution, and an apply closure.
+func testSystem(n int) (apply MatVec, b, want []float64) {
+	apply = func(dst, x []float64) {
+		for i := range dst {
+			v := 4 * x[i]
+			if i > 0 {
+				v -= x[i-1]
+			}
+			if i < n-1 {
+				v -= x[i+1]
+			}
+			dst[i] = v
+		}
+	}
+	want = make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i + 1))
+	}
+	b = make([]float64, n)
+	apply(b, want)
+	return apply, b, want
+}
+
+func solutionErr(got, want []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestSolveGMRES(t *testing.T) {
+	const n = 40
+	apply, b, want := testSystem(n)
+	x := make([]float64, n)
+	res, err := SolveGMRES(apply, b, x, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %+v", res)
+	}
+	if res.Residual > 1e-10 {
+		t.Errorf("residual = %g, want <= 1e-10", res.Residual)
+	}
+	if e := solutionErr(x, want); e > 1e-8 {
+		t.Errorf("solution error = %g", e)
+	}
+	if res.Iterations <= 0 || res.Iterations > 200 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestSolveBiCGSTAB(t *testing.T) {
+	const n = 40
+	apply, b, want := testSystem(n)
+	x := make([]float64, n)
+	res, err := SolveBiCGSTAB(apply, b, x, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCGSTAB did not converge: %+v", res)
+	}
+	if e := solutionErr(x, want); e > 1e-8 {
+		t.Errorf("solution error = %g", e)
+	}
+}
+
+// TestSolverWithFMMOperator closes the loop the paper describes: a
+// Krylov solve whose operator is an FMM evaluation (first-kind system
+// G x = b on a small cloud, regularized by a diagonal shift).
+func TestSolverWithFMMOperator(t *testing.T) {
+	pts := FlattenPatches(UniformPatches(11, 120))
+	n := len(pts) / 3
+	ev, err := NewEvaluator(pts, pts, Options{Kernel: Laplace(), Degree: 4, MaxPoints: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shift = 1.0
+	apply := func(dst, x []float64) {
+		pot, err := ev.Evaluate(x)
+		if err != nil {
+			t.Fatalf("evaluate inside solver: %v", err)
+		}
+		for i := range dst {
+			dst[i] = shift*x[i] + pot[i]
+		}
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1 + float64(i%7)/7
+	}
+	b := make([]float64, n)
+	apply(b, want)
+	x := make([]float64, n)
+	res, err := SolveGMRES(apply, b, x, SolverOptions{Tol: 1e-8, MaxIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("FMM-operator GMRES did not converge: %+v", res)
+	}
+	if e := solutionErr(x, want); e > 1e-5 {
+		t.Errorf("solution error = %g", e)
+	}
+}
