@@ -15,6 +15,7 @@
 package kifmm
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/barneshut"
@@ -161,7 +162,7 @@ func benchM2L(b *testing.B, backend fmm.M2LBackend) {
 	pts := FlattenPatches(patches)
 	den := RandomDensities(2, 8000, 1)
 	ev, err := NewEvaluator(pts, pts, Options{
-		Kernel: Laplace(), Degree: 6, MaxPoints: 60, Backend: backend,
+		Kernel: Laplace(), Degree: 6, MaxPoints: 60, Backend: backend, Workers: 1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -185,14 +186,82 @@ func benchM2L(b *testing.B, backend fmm.M2LBackend) {
 func BenchmarkM2LBackendFFT(b *testing.B)   { benchM2L(b, fmm.M2LFFT) }
 func BenchmarkM2LBackendDense(b *testing.B) { benchM2L(b, fmm.M2LDense) }
 
+// BenchmarkWorkersSweep measures one interaction evaluation at N≈20k
+// under increasing shared-memory fan-out — the real-hardware speedup
+// the simulated-MPI tables model. Compare ns/op across the
+// sub-benchmarks; the acceptance bar is >1.5x from workers=1 to
+// workers=4 on CI-class hardware.
+func BenchmarkWorkersSweep(b *testing.B) {
+	const n = 20000
+	patches := SpherePatches(1, n, 8, 0.1)
+	pts := FlattenPatches(patches)
+	den := RandomDensities(2, n, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ev, err := NewEvaluator(pts, pts, Options{
+				Kernel: Laplace(), Degree: 6, MaxPoints: 60, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ev.Evaluate(den); err != nil { // warm the operator caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(den); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateBatch measures the per-RHS cost of batched
+// evaluation against repeated single evaluations: the batch pays tree
+// traversal and near-field kernel evaluations once, so per-RHS ns/op
+// must fall as the batch grows.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	const n = 10000
+	patches := SpherePatches(1, n, 4, 0.2)
+	pts := FlattenPatches(patches)
+	for _, nrhs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", nrhs), func(b *testing.B) {
+			ev, err := NewEvaluator(pts, pts, Options{Kernel: Laplace(), Degree: 6, MaxPoints: 60})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dens := make([][]float64, nrhs)
+			for q := range dens {
+				dens[q] = RandomDensities(int64(3+q), n, 1)
+			}
+			if _, err := ev.EvaluateBatch(dens); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.EvaluateBatch(dens); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(nrhs), "ns/rhs")
+		})
+	}
+}
+
 // BenchmarkSequentialEvaluate measures one sequential interaction
 // evaluation per kernel (the paper's per-particle cycle counts:
-// observation (1) of the Discussion).
+// observation (1) of the Discussion). Workers is pinned to 1 so the
+// numbers keep their single-core meaning.
 func benchSequential(b *testing.B, k Kernel, n int) {
 	patches := SpherePatches(1, n, 4, 0.2)
 	pts := FlattenPatches(patches)
 	den := RandomDensities(2, n, k.SourceDim())
-	ev, err := NewEvaluator(pts, pts, Options{Kernel: k, Degree: 6, MaxPoints: 60})
+	ev, err := NewEvaluator(pts, pts, Options{Kernel: k, Degree: 6, MaxPoints: 60, Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -99,6 +99,20 @@ func (c *Client) Evaluate(ctx context.Context, planID string, den []float64) ([]
 	return resp.Potentials, resp.Stats, nil
 }
 
+// EvaluateBatch computes potentials for many density vectors in one
+// request and one server-side engine sweep; the server amortizes tree
+// traversal and near-field kernel evaluations across the batch, so this
+// is the fast path for multi-RHS workloads (e.g. lockstep Krylov
+// solves).
+func (c *Client) EvaluateBatch(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, error) {
+	var resp service.EvaluateBatchResponse
+	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate_batch"
+	if err := c.post(ctx, path, service.EvaluateBatchRequest{Densities: dens}, &resp); err != nil {
+		return nil, EvalStats{}, err
+	}
+	return resp.Potentials, resp.Stats, nil
+}
+
 // EvaluateOnce registers the plan and evaluates in one round trip; the
 // plan stays cached server-side. It returns the plan id for follow-up
 // Evaluate calls.

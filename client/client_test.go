@@ -96,6 +96,29 @@ func TestEndToEndRoundTrip(t *testing.T) {
 		}
 	}
 
+	// Batched evaluation agrees with the single path per vector.
+	pots, bstats, err := c.EvaluateBatch(ctx, plan.ID, [][]float64{den, den})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bstats.TotalNanos <= 0 {
+		t.Errorf("batch stats not populated: %+v", bstats)
+	}
+	if len(pots) != 2 {
+		t.Fatalf("batch returned %d vectors, want 2", len(pots))
+	}
+	for q := range pots {
+		num, denom = 0, 0
+		for i := range pots[q] {
+			d := pots[q][i] - got[i]
+			num += d * d
+			denom += got[i] * got[i]
+		}
+		if e := math.Sqrt(num / denom); e > 1e-11 {
+			t.Errorf("batch vector %d differs from single evaluation by %.3e", q, e)
+		}
+	}
+
 	// Health and metrics read back through the client.
 	h, err := c.Health(ctx)
 	if err != nil {
@@ -108,8 +131,11 @@ func TestEndToEndRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.PlansBuilt != 1 || m.Evaluations != 2 {
-		t.Errorf("metrics = %+v, want 1 plan built and 2 evaluations", m)
+	if m.PlansBuilt != 1 || m.Evaluations != 4 {
+		t.Errorf("metrics = %+v, want 1 plan built and 4 evaluations", m)
+	}
+	if m.PlansBytes <= 0 {
+		t.Errorf("metrics missing plan footprint: %+v", m)
 	}
 }
 

@@ -63,8 +63,11 @@ func main() {
 		return
 	}
 
+	// Workers pinned to 1: this path prints per-stage wall times and a
+	// Mflop/s rate labeled "sequential", which only mean that on a
+	// single worker (with more, Stats sums compute time across workers).
 	ev, err := kifmm.NewEvaluator(pts, pts, kifmm.Options{
-		Kernel: k, Degree: *degree, MaxPoints: *maxPts, Backend: backend,
+		Kernel: k, Degree: *degree, MaxPoints: *maxPts, Backend: backend, Workers: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -5,11 +5,12 @@
 //
 // API:
 //
-//	POST /v1/plans               register geometry, get a plan id
-//	POST /v1/plans/{id}/evaluate densities -> potentials
-//	POST /v1/evaluate            one-shot register + evaluate
-//	GET  /healthz                liveness
-//	GET  /debug/vars             expvar metrics ("kifmm" key)
+//	POST /v1/plans                     register geometry, get a plan id
+//	POST /v1/plans/{id}/evaluate       densities -> potentials
+//	POST /v1/plans/{id}/evaluate_batch many density vectors in one sweep
+//	POST /v1/evaluate                  one-shot register + evaluate
+//	GET  /healthz                      liveness
+//	GET  /debug/vars                   expvar metrics ("kifmm" key)
 package main
 
 import (
@@ -30,12 +31,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", 32, "maximum number of cached plans (LRU)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "bound the summed estimated plan footprint in bytes (0 = count bound only)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent evaluations")
+	evalWorkers := flag.Int("eval-workers", 1, "goroutines one evaluation fans out over (raise for latency, keep 1 for throughput)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP write timeout")
 	flag.Parse()
 
-	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	svc := service.New(service.Config{
+		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
+		Workers: *workers, EvalWorkers: *evalWorkers,
+	})
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      service.NewServer(svc),
@@ -45,8 +51,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("kifmm-serve listening on %s (cache %d plans, %d workers)\n",
-			*addr, *cacheSize, *workers)
+		fmt.Printf("kifmm-serve listening on %s (cache %d plans / %d bytes, %d workers x %d eval goroutines)\n",
+			*addr, *cacheSize, *cacheBytes, *workers, *evalWorkers)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,12 +1,16 @@
-// Parallel scalability demo: the paper's Section 3 algorithm on
-// simulated MPI ranks. Runs a fixed-size problem on 1..16 ranks and
-// prints the virtual wall-clock speedup, the communication share and the
-// load-balance ratio — a miniature of Table 4.1.
+// Parallel scalability demo, in two parts. First the paper's Section 3
+// algorithm on simulated MPI ranks: a fixed-size problem on 1..16 ranks
+// with virtual wall-clock speedup, communication share and load-balance
+// ratio — a miniature of Table 4.1. Then the same decomposition run for
+// real on this machine: internal/exec fans the per-box work of every
+// FMM pass over a goroutine pool, so the speedup column is measured
+// wall time, not a network model.
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	kifmm "repro"
@@ -18,6 +22,7 @@ func main() {
 	den := kifmm.RandomDensities(4, n, 1)
 
 	fmt.Printf("fixed-size scalability, N=%d, Laplace kernel\n\n", n)
+	fmt.Println("== simulated MPI ranks (virtual time, Quadrics-class interconnect)")
 	fmt.Printf("%6s %12s %10s %10s %8s %8s\n", "P", "T(P)", "speedup", "comm", "ratio", "eff")
 	var t1 time.Duration
 	for _, p := range []int{1, 2, 4, 8, 16} {
@@ -44,4 +49,36 @@ func main() {
 	fmt.Println("\nT(P) is the slowest rank's virtual time (measured compute +")
 	fmt.Println("modeled Quadrics-class communication), the same metric as the")
 	fmt.Println("paper's wall-clock tables.")
+
+	pts := kifmm.FlattenPatches(patches)
+	fmt.Printf("\n== shared-memory executor (real wall clock, GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %12s %10s %8s\n", "workers", "T(wall)", "speedup", "eff")
+	var w1 time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		ev, err := kifmm.NewEvaluator(pts, pts, kifmm.Options{
+			Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60, Workers: w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ev.Evaluate(den); err != nil { // warm the operator caches
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := ev.Evaluate(den); err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		if w == 1 {
+			w1 = wall
+		}
+		speedup := float64(w1) / float64(wall)
+		fmt.Printf("%8d %12v %10.2f %8.2f\n",
+			w, wall.Round(time.Microsecond), speedup, speedup/float64(w))
+	}
+	fmt.Println("\nBoth tables exploit the same structure — every FMM pass is")
+	fmt.Println("independent per-box work between level barriers; the first models")
+	fmt.Println("it across a network, the second runs it on this machine's cores.")
+	fmt.Println("(Speedups above need GOMAXPROCS > 1; results are bitwise")
+	fmt.Println("identical for every worker count.)")
 }

@@ -1,0 +1,109 @@
+// Package exec is the shared-memory parallel execution engine of the
+// FMM: a fixed-size goroutine pool with a dynamically scheduled
+// parallel-for. The paper's central observation is that every FMM pass
+// decomposes into independent per-box work items synchronized only at
+// level boundaries; Pool.ForRange is exactly that shape — fan a
+// half-open index range out over the workers, barrier at the end.
+//
+// Each invocation hands the callback a stable worker id in [0, Workers())
+// so callers can keep per-worker scratch buffers and statistics without
+// locks, merging them after the barrier.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans index ranges out over a fixed number of workers. The zero
+// value is not ready; use New. A Pool is stateless between calls and
+// safe for concurrent use (concurrent ForRange calls simply share the
+// machine).
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// grainFor picks the dynamic-scheduling chunk size: small enough that an
+// uneven work distribution (adaptive trees concentrate points in few
+// boxes) keeps every worker busy, large enough that the atomic fetch-add
+// is off the critical path.
+func grainFor(n, workers int) int {
+	g := n / (workers * 8)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ForRange invokes fn(worker, i) for every i in [lo, hi), distributing
+// indices over the pool dynamically (atomic chunk claiming, so uneven
+// per-index costs still balance). It returns after every invocation has
+// completed — a barrier, which is what gives the FMM its level
+// synchronization. With one worker (or a single-index range) it runs
+// inline, byte-for-byte matching a plain loop.
+//
+// A panic in fn is re-raised on the calling goroutine after the barrier,
+// so callers' recover-based safety nets (e.g. the evaluation service)
+// keep working under parallel execution.
+func (p *Pool) ForRange(lo, hi int, fn func(worker, i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := lo; i < hi; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	grain := int64(grainFor(n, w))
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				clo := next.Add(grain) - grain
+				if clo >= int64(n) {
+					return
+				}
+				chi := clo + grain
+				if chi > int64(n) {
+					chi = int64(n)
+				}
+				for i := lo + int(clo); i < lo+int(chi); i++ {
+					fn(wk, i)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

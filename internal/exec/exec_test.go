@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("New(%d).Workers() = %d, want GOMAXPROCS", w, got)
+		}
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d", got)
+	}
+}
+
+// TestForRangeCoversEveryIndex: each index in [lo, hi) runs exactly once,
+// for pool widths below, at and above the range size.
+func TestForRangeCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 32} {
+		p := New(workers)
+		for _, span := range [][2]int{{0, 0}, {3, 3}, {0, 1}, {2, 7}, {0, 1000}} {
+			lo, hi := span[0], span[1]
+			counts := make([]atomic.Int32, hi+1)
+			p.ForRange(lo, hi, func(_, i int) {
+				if i < lo || i >= hi {
+					t.Errorf("index %d outside [%d, %d)", i, lo, hi)
+					return
+				}
+				counts[i].Add(1)
+			})
+			for i := lo; i < hi; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d range=[%d,%d): index %d ran %d times", workers, lo, hi, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForRangeWorkerIDs: worker ids stay in [0, Workers()) so they can
+// index per-worker scratch.
+func TestForRangeWorkerIDs(t *testing.T) {
+	p := New(4)
+	var bad atomic.Int32
+	p.ForRange(0, 500, func(w, _ int) {
+		if w < 0 || w >= p.Workers() {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d invocations saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestForRangeBarrier: ForRange must not return before every invocation
+// finished (per-worker sums merged after the call must account for all
+// indices).
+func TestForRangeBarrier(t *testing.T) {
+	p := New(8)
+	sums := make([]int64, p.Workers())
+	const n = 4096
+	p.ForRange(0, n, func(w, i int) { sums[w] += int64(i) })
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n) * (n - 1) / 2; total != want {
+		t.Errorf("per-worker sums total %d, want %d", total, want)
+	}
+}
+
+// TestForRangePanicPropagates: a panic on a worker goroutine resurfaces
+// on the calling goroutine where recover works.
+func TestForRangePanicPropagates(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	p.ForRange(0, 100, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Error("ForRange returned instead of panicking")
+}

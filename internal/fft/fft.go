@@ -49,20 +49,35 @@ func NewPlan(n int) *Plan {
 // Len returns the transform length.
 func (p *Plan) Len() int { return p.n }
 
+// ScratchLen returns the gather-scratch length one transform of this
+// plan needs (see ForwardScratch).
+func (p *Plan) ScratchLen() int { return p.scratch }
+
 // Forward computes dst = DFT(src) (negative exponent, unscaled).
 // dst and src must both have length n and must not alias.
 func (p *Plan) Forward(dst, src []complex128) {
+	p.ForwardScratch(dst, src, make([]complex128, p.scratch))
+}
+
+// ForwardScratch is Forward with caller-provided gather scratch (length
+// >= ScratchLen()); bulk transforms like Plan3 reuse one buffer across
+// thousands of lines instead of allocating per call.
+func (p *Plan) ForwardScratch(dst, src, scratch []complex128) {
 	p.check(dst, src)
-	buf := make([]complex128, p.scratch)
-	p.rec(dst, src, p.n, 1, 1, p.w, 0, buf)
+	p.rec(dst, src, p.n, 1, 1, p.w, 0, scratch)
 }
 
 // Inverse computes dst = IDFT(src), scaled by 1/n so that
 // Inverse(Forward(x)) == x. dst and src must not alias.
 func (p *Plan) Inverse(dst, src []complex128) {
+	p.InverseScratch(dst, src, make([]complex128, p.scratch))
+}
+
+// InverseScratch is Inverse with caller-provided gather scratch (length
+// >= ScratchLen()).
+func (p *Plan) InverseScratch(dst, src, scratch []complex128) {
 	p.check(dst, src)
-	buf := make([]complex128, p.scratch)
-	p.rec(dst, src, p.n, 1, 1, p.winv, 0, buf)
+	p.rec(dst, src, p.n, 1, 1, p.winv, 0, scratch)
 	inv := complex(1/float64(p.n), 0)
 	for i := range dst {
 		dst[i] *= inv
@@ -203,14 +218,22 @@ func (p *Plan3) apply(x []complex128, inverse bool) {
 	}
 	in := make([]complex128, maxN)
 	out := make([]complex128, maxN)
+	maxScratch := p.px.scratch
+	if p.py.scratch > maxScratch {
+		maxScratch = p.py.scratch
+	}
+	if p.pz.scratch > maxScratch {
+		maxScratch = p.pz.scratch
+	}
+	scratch := make([]complex128, maxScratch)
 	line := func(pl *Plan, base, stride, n int) {
 		for i := 0; i < n; i++ {
 			in[i] = x[base+i*stride]
 		}
 		if inverse {
-			pl.Inverse(out[:n], in[:n])
+			pl.InverseScratch(out[:n], in[:n], scratch)
 		} else {
-			pl.Forward(out[:n], in[:n])
+			pl.ForwardScratch(out[:n], in[:n], scratch)
 		}
 		for i := 0; i < n; i++ {
 			x[base+i*stride] = out[i]

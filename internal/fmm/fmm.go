@@ -1,21 +1,34 @@
-// Package fmm implements the sequential adaptive kernel-independent FMM
-// (paper Section 2): the upward pass builds upward equivalent densities
-// (S2M at leaves, M2M up the tree), the downward pass accumulates
-// downward check potentials from the V (M2L), X (S2L) lists and the
-// parent (L2L), inverts them into downward equivalent densities, and the
-// leaf evaluation combines the U list (direct), W list (M2T) and the
-// local expansion (L2T).
+// Package fmm implements the adaptive kernel-independent FMM (paper
+// Section 2): the upward pass builds upward equivalent densities (S2M at
+// leaves, M2M up the tree), the downward pass accumulates downward check
+// potentials from the V (M2L), X (S2L) lists and the parent (L2L),
+// inverts them into downward equivalent densities, and the leaf
+// evaluation combines the U list (direct), W list (M2T) and the local
+// expansion (L2T).
 //
-// The engine records per-stage wall time and flop counts matching the
+// Every pass decomposes into independent per-box work synchronized only
+// at level boundaries — the observation the paper's parallel algorithm
+// rests on — so the engine fans each level out over a shared-memory
+// worker pool (internal/exec). Evaluation is read-only on the prepared
+// plan (tree + operators): one Evaluator serves concurrent callers.
+// Multi-RHS batching (EvaluateBatch) amortizes tree traversal and
+// near-field kernel evaluations across many density vectors, the shape
+// Krylov solvers and the evaluation service need.
+//
+// The engine records per-stage compute time and flop counts matching the
 // stages the paper charts in Figures 4.2/4.3 (Up, DownU, DownV, DownW,
 // DownX, Eval).
 package fmm
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/kernels"
+	"repro/internal/linalg"
 	"repro/internal/morton"
 	"repro/internal/translate"
 	"repro/internal/tree"
@@ -49,17 +62,27 @@ type Options struct {
 	Backend M2LBackend
 	// PinvTol is the pseudo-inverse truncation (default 1e-10).
 	PinvTol float64
+	// Workers is the number of goroutines one evaluation fans its
+	// per-box work out over (default GOMAXPROCS; 1 forces the
+	// sequential path). Results are bitwise identical for every worker
+	// count: each box's floating-point accumulation order is fixed, and
+	// workers only partition boxes. Workers does not affect what an
+	// evaluator computes, so plan identity (kifmm.PlanKey) excludes it.
+	Workers int
 }
 
-// Stats aggregates per-stage timings and flop counts of one evaluation,
-// mirroring the stage breakdown of the paper's Figures 4.2/4.3.
+// Stats aggregates per-stage compute times and flop counts of one
+// evaluation, mirroring the stage breakdown of the paper's Figures
+// 4.2/4.3. Durations are summed across workers (aggregate compute time):
+// with Workers=1 they match wall clock; with more workers the wall time
+// of a stage is roughly its duration divided by the achieved speedup.
 type Stats struct {
 	Up, DownU, DownV, DownW, DownX, Eval time.Duration
 	FlopsUp, FlopsDownU, FlopsDownV,
 	FlopsDownW, FlopsDownX, FlopsEval int64
 }
 
-// Total returns the summed wall time of all stages.
+// Total returns the summed compute time of all stages.
 func (s Stats) Total() time.Duration {
 	return s.Up + s.DownU + s.DownV + s.DownW + s.DownX + s.Eval
 }
@@ -87,26 +110,32 @@ func (s *Stats) Add(o Stats) {
 
 // Evaluator computes potentials induced by source densities. Build once,
 // evaluate many times (the paper's applications run tens to hundreds of
-// interaction evaluations per tree).
+// interaction evaluations per tree). Evaluation does not mutate the plan
+// state, so a single Evaluator is safe for concurrent Evaluate calls.
 type Evaluator struct {
 	Tree *tree.Tree
 	Ops  *translate.Set
 	opt  Options
 	fft  *translate.FFTM2L
+	pool *exec.Pool
 
-	stats Stats
+	// statsMu guards stats, the breakdown of the most recent completed
+	// evaluation (concurrent callers race benignly: last writer wins).
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // ApplyDefaults fills zero-valued options with the paper-matching
-// defaults (degree 6, leaf threshold 60, pinv tolerance 1e-10). It is
-// the single source of truth for defaulting: New and FromTree apply it,
-// and the plan-key hashing in the root package uses it so that options
-// which build identical evaluators identify the same plan. For that
-// reason it mirrors the exact coercion rules of the downstream
-// construction: tree.Build treats MaxPoints <= 0 as 60 and clamps
-// MaxDepth to (0, morton.MaxLevel], and translate.NewSet treats
-// PinvTol <= 0 as 1e-10. (Negative Degree is not coerced anywhere; it
-// fails surface construction and never produces an evaluator.)
+// defaults (degree 6, leaf threshold 60, pinv tolerance 1e-10, one
+// worker per logical CPU). It is the single source of truth for
+// defaulting: New and FromTree apply it, and the plan-key hashing in the
+// root package uses it so that options which build identical evaluators
+// identify the same plan. For that reason it mirrors the exact coercion
+// rules of the downstream construction: tree.Build treats MaxPoints <= 0
+// as 60 and clamps MaxDepth to (0, morton.MaxLevel], and
+// translate.NewSet treats PinvTol <= 0 as 1e-10. (Negative Degree is not
+// coerced anywhere; it fails surface construction and never produces an
+// evaluator. Workers is machine-dependent and never hashed.)
 func ApplyDefaults(opt Options) Options {
 	if opt.Degree == 0 {
 		opt.Degree = 6
@@ -125,6 +154,9 @@ func ApplyDefaults(opt Options) Options {
 	// M2LDense and hash identically to it.
 	if opt.Backend != M2LFFT {
 		opt.Backend = M2LDense
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	return opt
 }
@@ -152,259 +184,505 @@ func FromTree(tr *tree.Tree, opt Options) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Evaluator{Tree: tr, Ops: ops, opt: opt}
+	e := &Evaluator{Tree: tr, Ops: ops, opt: opt, pool: exec.New(opt.Workers)}
 	if opt.Backend == M2LFFT {
 		e.fft = translate.NewFFTM2L(ops)
 	}
 	return e, nil
 }
 
-// Stats returns the stage breakdown of the most recent Evaluate call.
-func (e *Evaluator) Stats() Stats { return e.stats }
+// Workers returns the evaluation pool width.
+func (e *Evaluator) Workers() int { return e.pool.Workers() }
+
+// Stats returns the stage breakdown of the most recently completed
+// evaluation (with concurrent callers, the last one to finish).
+func (e *Evaluator) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// FootprintBytes estimates the resident memory of this prepared plan:
+// the octree (points, permutations, boxes, interaction lists) plus the
+// translation operators and FFT kernel tensors currently cached for its
+// kernel/degree/geometry. Operator caches are shared process-wide, so
+// plans over the same kernel and geometry scale both attribute the same
+// operators — a deliberate overestimate that keeps byte-bounded plan
+// caches conservative.
+func (e *Evaluator) FootprintBytes() int64 {
+	b := e.Tree.MemoryBytes()
+	b += e.Ops.CachedBytes()
+	if e.fft != nil {
+		b += e.fft.CachedBytes()
+	}
+	return b
+}
 
 // Evaluate computes pot[i] = Σ_j G(trg_i, src_j) den_j for all targets.
 // den holds SourceDim components per source in the original input order;
 // the result has TargetDim components per target in input order.
 func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
+	pot, _, err := e.EvaluateStats(den)
+	return pot, err
+}
+
+// EvaluateStats is Evaluate returning this call's stage breakdown
+// directly, so concurrent callers get their own stats instead of racing
+// on Stats().
+func (e *Evaluator) EvaluateStats(den []float64) ([]float64, Stats, error) {
+	pots, st, err := e.evaluate([][]float64{den})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return pots[0], st, nil
+}
+
+// EvaluateBatch evaluates several density vectors against the same plan
+// in one sweep, amortizing tree traversal, operator fetches and —
+// dominating the near field — per-pair kernel evaluations across the
+// batch (U/W/X/S2M interactions materialize each kernel block once and
+// apply it to every right-hand side). Results match per-vector Evaluate
+// calls to accumulation-order rounding.
+func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
+	pots, _, err := e.evaluate(dens)
+	return pots, err
+}
+
+// EvaluateBatchStats is EvaluateBatch returning the aggregate stage
+// breakdown of the whole batch.
+func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, Stats, error) {
+	return e.evaluate(dens)
+}
+
+// runState carries one evaluation's transient state: the engine reads
+// the Evaluator but writes only here, which is what makes concurrent
+// evaluations of one plan safe.
+type runState struct {
+	e    *Evaluator
+	pool *exec.Pool
+	nrhs int
+
+	sd, td, ne, nc int
+
+	pdens  [][]float64 // per-RHS densities, Morton order
+	ppots  [][]float64 // per-RHS potentials, Morton order
+	phiU   [][]float64 // per-box upward equivalent densities (nrhs*ne)
+	phiD   [][]float64 // per-box downward equivalent densities (nrhs*ne)
+	checks [][]float64 // per-box downward check potentials (nrhs*nc)
+
+	ws []scratch // per-worker scratch and stats
+}
+
+// scratch is one worker's private buffers; ForRange hands every
+// invocation a stable worker id, so no locks are needed.
+type scratch struct {
+	stats Stats
+	check []float64
+	pts   []float64
+	mat   []float64
+	acc   [][]complex128
+}
+
+func (sc *scratch) checkBuf(n int) []float64 {
+	if cap(sc.check) < n {
+		sc.check = make([]float64, n)
+	}
+	return sc.check[:n]
+}
+
+func (sc *scratch) ptsBuf(n int) []float64 {
+	if cap(sc.pts) < n {
+		sc.pts = make([]float64, n)
+	}
+	return sc.pts[:n]
+}
+
+func (sc *scratch) matBuf(n int) []float64 {
+	if cap(sc.mat) < n {
+		sc.mat = make([]float64, n)
+	}
+	return sc.mat[:n]
+}
+
+func (sc *scratch) accBuf(f *translate.FFTM2L) [][]complex128 {
+	if sc.acc == nil {
+		sc.acc = f.NewAccumulator()
+	}
+	return sc.acc
+}
+
+// evaluate is the engine shared by all Evaluate variants.
+func (e *Evaluator) evaluate(dens [][]float64) ([][]float64, Stats, error) {
 	k := e.opt.Kernel
 	sd, td := k.SourceDim(), k.TargetDim()
 	t := e.Tree
 	nSrc := len(t.SrcPoints) / 3
 	nTrg := len(t.TrgPoints) / 3
-	if len(den) != nSrc*sd {
-		return nil, fmt.Errorf("fmm: density length %d, want %d", len(den), nSrc*sd)
+	if len(dens) == 0 {
+		return nil, Stats{}, fmt.Errorf("fmm: evaluation needs at least one density vector")
 	}
-	e.stats = Stats{}
-	// Permute densities into Morton order.
-	pden := make([]float64, len(den))
-	for i, orig := range t.SrcPerm {
-		o := int(orig)
-		copy(pden[i*sd:(i+1)*sd], den[o*sd:(o+1)*sd])
+	for q, den := range dens {
+		if len(den) != nSrc*sd {
+			if len(dens) == 1 {
+				return nil, Stats{}, fmt.Errorf("fmm: density length %d, want %d", len(den), nSrc*sd)
+			}
+			return nil, Stats{}, fmt.Errorf("fmm: density %d length %d, want %d", q, len(den), nSrc*sd)
+		}
 	}
-	ppot := make([]float64, nTrg*td)
+	r := &runState{
+		e: e, pool: e.pool, nrhs: len(dens),
+		sd: sd, td: td, ne: e.Ops.EquivCount(), nc: e.Ops.CheckCount(),
+		pdens: make([][]float64, len(dens)),
+		ppots: make([][]float64, len(dens)),
+		ws:    make([]scratch, e.pool.Workers()),
+	}
+	// Permute densities into Morton order (fanned out across the batch).
+	r.pool.ForRange(0, r.nrhs, func(_, q int) {
+		p := make([]float64, nSrc*sd)
+		for i, orig := range t.SrcPerm {
+			o := int(orig)
+			copy(p[i*sd:(i+1)*sd], dens[q][o*sd:(o+1)*sd])
+		}
+		r.pdens[q] = p
+		r.ppots[q] = make([]float64, nTrg*td)
+	})
 
-	phiU := e.upwardPass(pden)
-	phiD := e.downwardPass(phiU, pden)
-	e.leafEvaluation(phiU, phiD, pden, ppot)
+	r.upwardPass()
+	r.downwardPass()
+	r.leafEvaluation()
 
 	// Un-permute potentials to input order.
-	pot := make([]float64, len(ppot))
-	for i, orig := range t.TrgPerm {
-		o := int(orig)
-		copy(pot[o*td:(o+1)*td], ppot[i*td:(i+1)*td])
+	pots := make([][]float64, r.nrhs)
+	r.pool.ForRange(0, r.nrhs, func(_, q int) {
+		pot := make([]float64, nTrg*td)
+		for i, orig := range t.TrgPerm {
+			o := int(orig)
+			copy(pot[o*td:(o+1)*td], r.ppots[q][i*td:(i+1)*td])
+		}
+		pots[q] = pot
+	})
+	var st Stats
+	for i := range r.ws {
+		st.Add(r.ws[i].stats)
 	}
-	return pot, nil
+	e.statsMu.Lock()
+	e.stats = st
+	e.statsMu.Unlock()
+	return pots, st, nil
+}
+
+// denAt returns the per-RHS density views of a contiguous source range.
+func (r *runState) denAt(start, count int) func(q int) []float64 {
+	return func(q int) []float64 {
+		return r.pdens[q][start*r.sd : (start+count)*r.sd]
+	}
+}
+
+// sliceAt returns the per-RHS views of an rhs-major buffer with the
+// given per-RHS stride.
+func sliceAt(buf []float64, stride int) func(q int) []float64 {
+	return func(q int) []float64 { return buf[q*stride : (q+1)*stride] }
+}
+
+// addP2P accumulates the direct interaction of one (targets, sources)
+// pair into dst(q) for every right-hand side. With one RHS it takes the
+// specialized P2P loops; for batches it materializes the kernel block
+// once into worker scratch and applies it per RHS, so the kernel
+// evaluations — the dominant near-field cost — are paid once per batch.
+// (Kernels return a zero block at zero displacement, so self
+// interactions vanish on both paths.)
+func (r *runState) addP2P(sc *scratch, trg, src []float64, den, dst func(q int) []float64, flops *int64) {
+	k := r.e.opt.Kernel
+	nt, ns := len(trg)/3, len(src)/3
+	if r.nrhs == 1 {
+		kernels.P2P(k, trg, src, den(0), dst(0))
+		*flops += kernels.P2PFlops(k, nt, ns)
+		return
+	}
+	rows, cols := nt*r.td, ns*r.sd
+	m := linalg.Dense{Rows: rows, Cols: cols, Data: sc.matBuf(rows * cols)}
+	kernels.Matrix(k, trg, src, m.Data)
+	*flops += kernels.P2PFlops(k, nt, ns)
+	for q := 0; q < r.nrhs; q++ {
+		m.MatVecAdd(dst(q), den(q))
+		*flops += int64(2 * rows * cols)
+	}
 }
 
 // upwardPass computes upward equivalent densities for every box that
 // contains sources, deepest level first (S2M at leaves, M2M inside).
-func (e *Evaluator) upwardPass(pden []float64) [][]float64 {
-	start := time.Now()
-	t := e.Tree
-	k := e.opt.Kernel
-	sd := k.SourceDim()
-	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
-	phiU := make([][]float64, len(t.Boxes))
-	check := make([]float64, nc)
-	ucPts := make([]float64, 3*e.Ops.Surf.N)
+// Levels run in sequence — a parent needs its children — and the boxes
+// of one level fan out over the pool.
+func (r *runState) upwardPass() {
+	t := r.e.Tree
+	ne, nc := r.ne, r.nc
+	r.phiU = make([][]float64, len(t.Boxes))
 	for l := t.Depth() - 1; l >= 0; l-- {
-		r := t.BoxHalfWidth(l)
-		for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+		radius := t.BoxHalfWidth(l)
+		// Fetch the level's operators once, outside the parallel region,
+		// so workers apply them lock-free. Internal boxes exist at level
+		// l only when level l+1 is populated.
+		upPinv := r.e.Ops.UpwardPinv(l)
+		var m2m [8]translate.Op
+		if l < t.Depth()-1 {
+			for o := range m2m {
+				m2m[o] = r.e.Ops.M2M(l, o)
+			}
+		}
+		r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 			b := &t.Boxes[bi]
 			if b.SrcCount == 0 {
-				continue
+				return
 			}
+			sc := &r.ws[w]
+			start := time.Now()
+			check := sc.checkBuf(r.nrhs * nc)
 			for i := range check {
 				check[i] = 0
 			}
 			if b.Leaf {
 				src := t.SrcSlice(int32(bi))
-				dslice := pden[b.SrcStart*sd : (b.SrcStart+b.SrcCount)*sd]
-				e.Ops.UpwardCheckPoints(t.BoxCenter(int32(bi)), r, ucPts)
-				kernels.P2P(k, ucPts, src, dslice, check)
-				e.stats.FlopsUp += kernels.P2PFlops(k, e.Ops.Surf.N, b.SrcCount)
+				ucPts := r.e.Ops.UpwardCheckPoints(t.BoxCenter(int32(bi)), radius, sc.ptsBuf(3*r.e.Ops.Surf.N))
+				r.addP2P(sc, ucPts, src, r.denAt(b.SrcStart, b.SrcCount), sliceAt(check, nc), &sc.stats.FlopsUp)
 			} else {
 				for o, ci := range b.Children {
-					if ci == tree.Nil || phiU[ci] == nil {
+					if ci == tree.Nil || r.phiU[ci] == nil {
 						continue
 					}
-					e.Ops.M2M(l, o).Apply(check, phiU[ci])
-					e.stats.FlopsUp += int64(2 * nc * ne)
+					for q := 0; q < r.nrhs; q++ {
+						m2m[o].Apply(check[q*nc:(q+1)*nc], r.phiU[ci][q*ne:(q+1)*ne])
+					}
+					sc.stats.FlopsUp += int64(2*nc*ne) * int64(r.nrhs)
 				}
 			}
-			phi := make([]float64, ne)
-			e.Ops.UpwardPinv(l).Apply(phi, check)
-			e.stats.FlopsUp += int64(2 * ne * nc)
-			phiU[bi] = phi
-		}
+			phi := make([]float64, r.nrhs*ne)
+			for q := 0; q < r.nrhs; q++ {
+				upPinv.Apply(phi[q*ne:(q+1)*ne], check[q*nc:(q+1)*nc])
+			}
+			sc.stats.FlopsUp += int64(2*ne*nc) * int64(r.nrhs)
+			r.phiU[bi] = phi
+			sc.stats.Up += time.Since(start)
+		})
 	}
-	e.stats.Up = time.Since(start)
-	return phiU
+}
+
+// getCheck lazily allocates a box's downward check potentials. Within
+// each parallel phase a box is visited by exactly one worker, and phases
+// are separated by pool barriers, so no lock is needed.
+func (r *runState) getCheck(bi int32) []float64 {
+	if r.checks[bi] == nil {
+		r.checks[bi] = make([]float64, r.nrhs*r.nc)
+	}
+	return r.checks[bi]
 }
 
 // downwardPass accumulates downward check potentials level by level
 // (M2L from the V list, S2L from the X list, L2L from the parent) and
-// inverts them into downward equivalent densities.
-func (e *Evaluator) downwardPass(phiU [][]float64, pden []float64) [][]float64 {
-	t := e.Tree
-	k := e.opt.Kernel
-	sd := k.SourceDim()
-	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
-	phiD := make([][]float64, len(t.Boxes))
+// inverts them into downward equivalent densities. The level order is
+// sequential (a child needs its parent's phiD); within a level the M2L
+// sweep and the per-box X/L2L/inversion sweep each fan out over the
+// pool.
+func (r *runState) downwardPass() {
+	t := r.e.Tree
+	ne, nc := r.ne, r.nc
+	r.phiD = make([][]float64, len(t.Boxes))
 	if t.Depth() <= 2 {
-		return phiD
+		return
 	}
-	checks := make([][]float64, len(t.Boxes))
-	dcPts := make([]float64, 3*e.Ops.Surf.N)
-	getCheck := func(bi int32) []float64 {
-		if checks[bi] == nil {
-			checks[bi] = make([]float64, nc)
-		}
-		return checks[bi]
-	}
+	r.checks = make([][]float64, len(t.Boxes))
 	for l := 2; l < t.Depth(); l++ {
 		// V list: M2L translations, batched per level.
-		startV := time.Now()
-		if e.fft != nil {
-			e.applyM2LFFT(l, phiU, checks, getCheck)
+		if r.e.fft != nil {
+			r.applyM2LFFT(l)
 		} else {
-			e.applyM2LDense(l, phiU, getCheck)
+			r.applyM2LDense(l)
 		}
-		e.stats.DownV += time.Since(startV)
-		for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+		downPinv := r.e.Ops.DownwardPinv(l)
+		// L2L operators are only applied when the parent has a downward
+		// density, which level-1 parents (of the first downward level)
+		// never do — don't build 8 unused operators there.
+		var l2l [8]translate.Op
+		if l > 2 {
+			for o := range l2l {
+				l2l[o] = r.e.Ops.L2L(l-1, o)
+			}
+		}
+		radius := t.BoxHalfWidth(l)
+		r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 			b := &t.Boxes[bi]
 			if b.TrgCount == 0 {
 				// No targets anywhere below: the local expansion is
 				// useless. (Pruned boxes always have points, but a box
 				// can hold sources only.)
-				continue
+				return
 			}
+			sc := &r.ws[w]
 			// X list: sources of coarser leaves evaluated directly on the
 			// DC surface (S2L).
 			if len(b.X) > 0 {
 				startX := time.Now()
-				check := getCheck(int32(bi))
-				e.Ops.DownwardCheckPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(l), dcPts)
+				check := r.getCheck(int32(bi))
+				dcPts := r.e.Ops.DownwardCheckPoints(t.BoxCenter(int32(bi)), radius, sc.ptsBuf(3*r.e.Ops.Surf.N))
 				for _, a := range b.X {
 					ab := &t.Boxes[a]
-					src := t.SrcSlice(a)
-					dslice := pden[ab.SrcStart*sd : (ab.SrcStart+ab.SrcCount)*sd]
-					kernels.P2P(k, dcPts, src, dslice, check)
-					e.stats.FlopsDownX += kernels.P2PFlops(k, e.Ops.Surf.N, ab.SrcCount)
+					r.addP2P(sc, dcPts, t.SrcSlice(a), r.denAt(ab.SrcStart, ab.SrcCount),
+						sliceAt(check, nc), &sc.stats.FlopsDownX)
 				}
-				e.stats.DownX += time.Since(startX)
+				sc.stats.DownX += time.Since(startX)
 			}
 			// L2L from the parent's downward density.
 			startE := time.Now()
-			if p := b.Parent; p != tree.Nil && phiD[p] != nil {
-				check := getCheck(int32(bi))
-				e.Ops.L2L(l-1, b.Key.Octant()).Apply(check, phiD[p])
-				e.stats.FlopsEval += int64(2 * nc * ne)
+			if p := b.Parent; p != tree.Nil && r.phiD[p] != nil {
+				check := r.getCheck(int32(bi))
+				op := l2l[b.Key.Octant()]
+				for q := 0; q < r.nrhs; q++ {
+					op.Apply(check[q*nc:(q+1)*nc], r.phiD[p][q*ne:(q+1)*ne])
+				}
+				sc.stats.FlopsEval += int64(2*nc*ne) * int64(r.nrhs)
 			}
-			if checks[bi] != nil {
-				phi := make([]float64, ne)
-				e.Ops.DownwardPinv(l).Apply(phi, checks[bi])
-				e.stats.FlopsEval += int64(2 * ne * nc)
-				phiD[bi] = phi
+			if r.checks[bi] != nil {
+				phi := make([]float64, r.nrhs*ne)
+				for q := 0; q < r.nrhs; q++ {
+					downPinv.Apply(phi[q*ne:(q+1)*ne], r.checks[bi][q*nc:(q+1)*nc])
+				}
+				sc.stats.FlopsEval += int64(2*ne*nc) * int64(r.nrhs)
+				r.phiD[bi] = phi
 			}
-			e.stats.Eval += time.Since(startE)
-		}
+			sc.stats.Eval += time.Since(startE)
+		})
 	}
-	return phiD
 }
 
-// applyM2LDense applies cached dense M2L operators box by box.
-func (e *Evaluator) applyM2LDense(l int, phiU [][]float64, getCheck func(int32) []float64) {
-	t := e.Tree
-	ne, nc := e.Ops.EquivCount(), e.Ops.CheckCount()
-	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+// applyM2LDense applies cached dense M2L operators, fanned out over the
+// level's target boxes.
+func (r *runState) applyM2LDense(l int) {
+	t := r.e.Tree
+	ne, nc := r.ne, r.nc
+	r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 		b := &t.Boxes[bi]
 		if b.TrgCount == 0 || len(b.V) == 0 {
-			continue
+			return
 		}
-		check := getCheck(int32(bi))
+		sc := &r.ws[w]
+		start := time.Now()
+		check := r.getCheck(int32(bi))
 		bx, by, bz := b.Key.Decode()
 		for _, a := range b.V {
-			if phiU[a] == nil {
+			if r.phiU[a] == nil {
 				continue
 			}
 			ax, ay, az := t.Boxes[a].Key.Decode()
 			off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
-			e.Ops.M2LDirect(l, off).Apply(check, phiU[a])
-			e.stats.FlopsDownV += int64(2 * nc * ne)
+			op := r.e.Ops.M2LDirect(l, off)
+			for q := 0; q < r.nrhs; q++ {
+				op.Apply(check[q*nc:(q+1)*nc], r.phiU[a][q*ne:(q+1)*ne])
+			}
+			sc.stats.FlopsDownV += int64(2*nc*ne) * int64(r.nrhs)
 		}
-	}
+		sc.stats.DownV += time.Since(start)
+	})
 }
 
 // applyM2LFFT batches the level's V-list translations through the
 // Fourier path: one forward FFT per contributing source box, Hadamard
 // accumulation per (target, source) pair, one inverse FFT per target.
-func (e *Evaluator) applyM2LFFT(l int, phiU [][]float64, checks [][]float64, getCheck func(int32) []float64) {
-	t := e.Tree
-	k := e.opt.Kernel
-	sd, td := k.SourceDim(), k.TargetDim()
-	gl := e.fft.GridLen()
-	// Forward-transform every source box used by some V list at this level.
-	used := make(map[int32]bool)
-	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
+// The forward sweep and the accumulate/extract sweep each fan out over
+// the pool; a barrier between them guarantees every grid is ready. The
+// batch is walked one RHS at a time so the in-flight Fourier grids stay
+// at single-RHS size (one grid set per contributing source box).
+func (r *runState) applyM2LFFT(l int) {
+	t := r.e.Tree
+	f := r.e.fft
+	sd, td := r.sd, r.td
+	ne, nc := r.ne, r.nc
+	gl := f.GridLen()
+	lo, hi := t.LevelStart[l], t.LevelStart[l+1]
+	// Index every source box used by some V list at this level
+	// (RHS-independent; read-only inside the parallel sweeps).
+	gridOf := make(map[int32]int)
+	var used []int32
+	for bi := lo; bi < hi; bi++ {
 		b := &t.Boxes[bi]
 		if b.TrgCount == 0 {
 			continue
 		}
 		for _, a := range b.V {
-			if phiU[a] != nil {
-				used[a] = true
-			}
-		}
-	}
-	grids := make(map[int32][][]complex128, len(used))
-	for a := range used {
-		g := e.fft.NewSourceGrids()
-		e.fft.ForwardDensity(phiU[a], g)
-		grids[a] = g
-		e.stats.FlopsDownV += int64(5 * gl * sd) // ~5 n log n per grid
-	}
-	acc := e.fft.NewAccumulator()
-	for bi := t.LevelStart[l]; bi < t.LevelStart[l+1]; bi++ {
-		b := &t.Boxes[bi]
-		if b.TrgCount == 0 || len(b.V) == 0 {
-			continue
-		}
-		e.fft.ResetAccumulator(acc)
-		bx, by, bz := b.Key.Decode()
-		any := false
-		for _, a := range b.V {
-			g, ok := grids[a]
-			if !ok {
+			if r.phiU[a] == nil {
 				continue
 			}
-			ax, ay, az := t.Boxes[a].Key.Decode()
-			off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
-			e.fft.Accumulate(acc, g, l, off)
-			e.stats.FlopsDownV += int64(8 * gl * sd * td)
-			any = true
+			if _, ok := gridOf[a]; !ok {
+				gridOf[a] = len(used)
+				used = append(used, a)
+			}
 		}
-		if any {
-			e.fft.Extract(acc, getCheck(int32(bi)))
-			e.stats.FlopsDownV += int64(5 * gl * td)
-		}
+	}
+	if len(used) == 0 {
+		return
+	}
+	grids := make([][][]complex128, len(used))
+	for q := 0; q < r.nrhs; q++ {
+		// Forward-transform every contributing source box (grids are
+		// reused across right-hand sides).
+		r.pool.ForRange(0, len(used), func(w, i int) {
+			sc := &r.ws[w]
+			start := time.Now()
+			if grids[i] == nil {
+				grids[i] = f.NewSourceGrids()
+			}
+			f.ForwardDensity(r.phiU[used[i]][q*ne:(q+1)*ne], grids[i])
+			sc.stats.FlopsDownV += int64(5 * gl * sd) // ~5 n log n per grid
+			sc.stats.DownV += time.Since(start)
+		})
+		r.pool.ForRange(lo, hi, func(w, bi int) {
+			b := &t.Boxes[bi]
+			if b.TrgCount == 0 || len(b.V) == 0 {
+				return
+			}
+			sc := &r.ws[w]
+			start := time.Now()
+			acc := sc.accBuf(f)
+			f.ResetAccumulator(acc)
+			bx, by, bz := b.Key.Decode()
+			any := false
+			for _, a := range b.V {
+				gi, ok := gridOf[a]
+				if !ok {
+					continue
+				}
+				ax, ay, az := t.Boxes[a].Key.Decode()
+				off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
+				f.Accumulate(acc, grids[gi], l, off)
+				sc.stats.FlopsDownV += int64(8 * gl * sd * td)
+				any = true
+			}
+			if any {
+				check := r.getCheck(int32(bi))
+				f.Extract(acc, l, check[q*nc:(q+1)*nc])
+				sc.stats.FlopsDownV += int64(5 * gl * td)
+			}
+			sc.stats.DownV += time.Since(start)
+		})
 	}
 }
 
 // leafEvaluation computes target potentials at every leaf: direct U-list
 // interactions, W-list M2T evaluations and the local expansion (L2T).
-func (e *Evaluator) leafEvaluation(phiU, phiD [][]float64, pden, ppot []float64) {
-	t := e.Tree
-	k := e.opt.Kernel
-	sd, td := k.SourceDim(), k.TargetDim()
-	surfPts := make([]float64, 3*e.Ops.Surf.N)
-	for bi := range t.Boxes {
+// Leaves own disjoint target ranges, so the whole sweep fans out at
+// once.
+func (r *runState) leafEvaluation() {
+	t := r.e.Tree
+	td, ne := r.td, r.ne
+	nsurf := 3 * r.e.Ops.Surf.N
+	r.pool.ForRange(0, len(t.Boxes), func(w, bi int) {
 		b := &t.Boxes[bi]
 		if !b.Leaf || b.TrgCount == 0 {
-			continue
+			return
 		}
+		sc := &r.ws[w]
 		trg := t.TrgSlice(int32(bi))
-		pot := ppot[b.TrgStart*td : (b.TrgStart+b.TrgCount)*td]
+		pot := func(q int) []float64 {
+			return r.ppots[q][b.TrgStart*td : (b.TrgStart+b.TrgCount)*td]
+		}
 		// U list: direct interactions with adjacent leaves (and itself).
 		startU := time.Now()
 		for _, u := range b.U {
@@ -412,32 +690,27 @@ func (e *Evaluator) leafEvaluation(phiU, phiD [][]float64, pden, ppot []float64)
 			if ub.SrcCount == 0 {
 				continue
 			}
-			src := t.SrcSlice(u)
-			dslice := pden[ub.SrcStart*sd : (ub.SrcStart+ub.SrcCount)*sd]
-			kernels.P2P(k, trg, src, dslice, pot)
-			e.stats.FlopsDownU += kernels.P2PFlops(k, b.TrgCount, ub.SrcCount)
+			r.addP2P(sc, trg, t.SrcSlice(u), r.denAt(ub.SrcStart, ub.SrcCount), pot, &sc.stats.FlopsDownU)
 		}
-		e.stats.DownU += time.Since(startU)
+		sc.stats.DownU += time.Since(startU)
 		// W list: far small boxes evaluated from their upward equivalent
 		// densities (M2T).
 		startW := time.Now()
-		for _, w := range b.W {
-			if phiU[w] == nil {
+		for _, wi := range b.W {
+			if r.phiU[wi] == nil {
 				continue
 			}
-			wb := &t.Boxes[w]
-			e.Ops.UpwardEquivPoints(t.BoxCenter(w), t.BoxHalfWidth(wb.Level()), surfPts)
-			kernels.P2P(k, trg, surfPts, phiU[w], pot)
-			e.stats.FlopsDownW += kernels.P2PFlops(k, b.TrgCount, e.Ops.Surf.N)
+			wb := &t.Boxes[wi]
+			surfPts := r.e.Ops.UpwardEquivPoints(t.BoxCenter(wi), t.BoxHalfWidth(wb.Level()), sc.ptsBuf(nsurf))
+			r.addP2P(sc, trg, surfPts, sliceAt(r.phiU[wi], ne), pot, &sc.stats.FlopsDownW)
 		}
-		e.stats.DownW += time.Since(startW)
+		sc.stats.DownW += time.Since(startW)
 		// L2T: evaluate the downward equivalent density at the targets.
 		startE := time.Now()
-		if phiD[bi] != nil {
-			e.Ops.DownwardEquivPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(b.Level()), surfPts)
-			kernels.P2P(k, trg, surfPts, phiD[bi], pot)
-			e.stats.FlopsEval += kernels.P2PFlops(k, b.TrgCount, e.Ops.Surf.N)
+		if r.phiD[bi] != nil {
+			surfPts := r.e.Ops.DownwardEquivPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(b.Level()), sc.ptsBuf(nsurf))
+			r.addP2P(sc, trg, surfPts, sliceAt(r.phiD[bi], ne), pot, &sc.stats.FlopsEval)
 		}
-		e.stats.Eval += time.Since(startE)
-	}
+		sc.stats.Eval += time.Since(startE)
+	})
 }

@@ -1,8 +1,10 @@
 package fmm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/direct"
@@ -49,6 +51,9 @@ func checkAgainstDirect(t *testing.T, k kernels.Kernel, src, trg []float64, opt 
 // TestFMMAccuracyUniform: all three kernels on the uniform distribution,
 // identical source and target sets, both M2L backends.
 func TestFMMAccuracyUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep skipped in -short mode")
+	}
 	rng := rand.New(rand.NewSource(1))
 	pts := geom.Flatten(geom.UniformCube(rng, 1200))
 	for _, k := range []kernels.Kernel{kernels.Laplace{}, kernels.NewModLaplace(1), kernels.NewStokes(1)} {
@@ -92,6 +97,9 @@ func TestFMMDistinctSourceTarget(t *testing.T) {
 // TestFMMConvergenceInDegree: the error must fall steeply with p (the
 // paper targets 1e-5 at its chosen accuracy).
 func TestFMMConvergenceInDegree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degree sweep skipped in -short mode")
+	}
 	rng := rand.New(rand.NewSource(5))
 	pts := geom.Flatten(geom.UniformCube(rng, 900))
 	var errs []float64
@@ -205,6 +213,151 @@ func TestFMMRepeatedEvaluations(t *testing.T) {
 		if first[i] != second[i] {
 			t.Fatalf("evaluation not reproducible at %d", i)
 		}
+	}
+}
+
+// TestFMMWorkersBitwiseReproducible: the parallel executor must produce
+// bitwise-identical results for every worker count — workers only
+// partition per-box work, and each box's floating-point accumulation
+// order is fixed.
+func TestFMMWorkersBitwiseReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	pts := geom.Flatten(geom.CornerClusters(rng, 2000, 0.35, 1))
+	den := geom.RandomDensities(rng, 2000, 1)
+	for _, backend := range []M2LBackend{M2LFFT, M2LDense} {
+		var want []float64
+		for _, workers := range []int{1, 2, 3, 8} {
+			e, err := New(pts, pts, Options{
+				Kernel: kernels.Laplace{}, Degree: 5, MaxPoints: 25,
+				Backend: backend, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Evaluate(den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("backend %v: workers=%d differs from workers=1 at %d: %g vs %g",
+						backend, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFMMConcurrentEvaluations: one Evaluator, many concurrent callers
+// (the evaluation service's hot-plan workload). Every result must be
+// bitwise identical to an undisturbed call; run under -race this guards
+// the engine's read-only-plan contract.
+func TestFMMConcurrentEvaluations(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := geom.Flatten(geom.UniformCube(rng, 1200))
+	e, err := New(pts, pts, Options{Kernel: kernels.Laplace{}, Degree: 5, MaxPoints: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	dens := make([][]float64, callers)
+	wants := make([][]float64, callers)
+	for c := range dens {
+		dens[c] = geom.RandomDensities(rng, 1200, 1)
+		want, err := e.Evaluate(dens[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[c] = want
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got, st, err := e.EvaluateStats(dens[c])
+			if err != nil {
+				errc <- err
+				return
+			}
+			if st.Flops() <= 0 {
+				errc <- fmt.Errorf("caller %d: per-call stats empty", c)
+			}
+			for i := range got {
+				if got[i] != wants[c][i] {
+					errc <- fmt.Errorf("caller %d: concurrent result differs at %d", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestFMMEvaluateBatch: the batched sweep must agree with per-vector
+// evaluations (to accumulation-order rounding: the batch materializes
+// near-field kernel blocks, the single path runs specialized loops) and
+// be exactly linear like them.
+func TestFMMEvaluateBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pts := geom.Flatten(geom.CornerClusters(rng, 1500, 0.35, 1))
+	for _, k := range []kernels.Kernel{kernels.Laplace{}, kernels.NewStokes(1)} {
+		e, err := New(pts, pts, Options{Kernel: k, Degree: 5, MaxPoints: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nrhs = 5
+		dens := make([][]float64, nrhs)
+		want := make([][]float64, nrhs)
+		for q := range dens {
+			dens[q] = geom.RandomDensities(rng, 1500, k.SourceDim())
+			want[q], err = e.Evaluate(dens[q])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, st, err := e.EvaluateBatchStats(dens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != nrhs {
+			t.Fatalf("%s: got %d vectors, want %d", k.Name(), len(got), nrhs)
+		}
+		if st.Flops() <= 0 || st.Total() <= 0 {
+			t.Errorf("%s: batch stats not populated: %+v", k.Name(), st)
+		}
+		for q := range got {
+			if e := relErr(got[q], want[q]); e > 1e-12 {
+				t.Errorf("%s: batch vector %d differs from single evaluation: %.3e", k.Name(), q, e)
+			}
+		}
+	}
+}
+
+// TestFMMEvaluateBatchErrors: empty batches and ragged vectors must be
+// rejected.
+func TestFMMEvaluateBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := geom.Flatten(geom.UniformCube(rng, 100))
+	e, err := New(pts, pts, Options{Kernel: kernels.Laplace{}, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvaluateBatch(nil); err == nil {
+		t.Error("empty batch must error")
+	}
+	good := geom.RandomDensities(rng, 100, 1)
+	if _, err := e.EvaluateBatch([][]float64{good, make([]float64, 7)}); err == nil {
+		t.Error("ragged batch must error")
 	}
 }
 

@@ -119,7 +119,22 @@ func stokesP2P(mu float64, trg, src, den, pot []float64) {
 // with the dense interaction matrix between the target points trg and the
 // source points src, so that pot = out * den reproduces P2P. out must
 // have length (nt*td)*(ns*sd).
+//
+// Like P2P, the built-in scalar kernels dispatch to unrolled loops —
+// batched near-field evaluation materializes these blocks on its hot
+// path — and every other kernel goes through the generic Eval path.
 func Matrix(k Kernel, trg, src, out []float64) {
+	switch kk := k.(type) {
+	case Laplace:
+		laplaceMatrix(trg, src, out)
+	case ModLaplace:
+		modLaplaceMatrix(kk.Lambda, trg, src, out)
+	default:
+		genericMatrix(k, trg, src, out)
+	}
+}
+
+func genericMatrix(k Kernel, trg, src, out []float64) {
 	sd, td := k.SourceDim(), k.TargetDim()
 	nt, ns := len(trg)/3, len(src)/3
 	cols := ns * sd
@@ -134,6 +149,45 @@ func Matrix(k Kernel, trg, src, out []float64) {
 					out[row+j*sd+b] = block[a*sd+b]
 				}
 			}
+		}
+	}
+}
+
+func laplaceMatrix(trg, src, out []float64) {
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		row := out[i*ns : (i+1)*ns]
+		for j := 0; j < ns; j++ {
+			rx := tx - src[3*j]
+			ry := ty - src[3*j+1]
+			rz := tz - src[3*j+2]
+			r2 := rx*rx + ry*ry + rz*rz
+			if r2 == 0 {
+				row[j] = 0
+				continue
+			}
+			row[j] = fourPiInv / math.Sqrt(r2)
+		}
+	}
+}
+
+func modLaplaceMatrix(lambda float64, trg, src, out []float64) {
+	nt, ns := len(trg)/3, len(src)/3
+	for i := 0; i < nt; i++ {
+		tx, ty, tz := trg[3*i], trg[3*i+1], trg[3*i+2]
+		row := out[i*ns : (i+1)*ns]
+		for j := 0; j < ns; j++ {
+			rx := tx - src[3*j]
+			ry := ty - src[3*j+1]
+			rz := tz - src[3*j+2]
+			r2 := rx*rx + ry*ry + rz*rz
+			if r2 == 0 {
+				row[j] = 0
+				continue
+			}
+			r := math.Sqrt(r2)
+			row[j] = fourPiInv * math.Exp(-lambda*r) / r
 		}
 	}
 }

@@ -36,6 +36,28 @@ func TestP2PSpecializationsAgree(t *testing.T) {
 	}
 }
 
+// TestMatrixSpecializationsAgree: the unrolled matrix fills must be
+// bitwise identical to the generic Eval path (they write the same
+// expression Eval computes).
+func TestMatrixSpecializationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range allKernels() {
+		nt, ns := 11, 14
+		trg := randomCloud(rng, nt)
+		// Include a coincident point: self interactions must zero out.
+		src := append(randomCloud(rng, ns-1), trg[0], trg[1], trg[2])
+		fast := make([]float64, nt*k.TargetDim()*ns*k.SourceDim())
+		slow := make([]float64, len(fast))
+		Matrix(k, trg, src, fast)
+		genericMatrix(k, trg, src, slow)
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("%s: specialized Matrix disagrees at %d: %v vs %v", k.Name(), i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
 func TestP2PAccumulates(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	k := Laplace{}

@@ -134,14 +134,18 @@ func Run(size int, machine Machine, fn func(*Comm)) []*Comm {
 	for r := 0; r < size; r++ {
 		go func(c *Comm) {
 			defer func() {
-				if p := recover(); p != nil {
+				p := recover()
+				// Finalize the rank's clock before signaling errs: the
+				// send is what releases Run back to the caller, so every
+				// write to c must happen-before it or Elapsed() races.
+				c.tick()
+				c.done = true
+				c.net.releaseToken()
+				if p != nil {
 					errs <- fmt.Errorf("mpi: rank %d panicked: %v", c.rank, p)
 				} else {
 					errs <- nil
 				}
-				c.tick()
-				c.done = true
-				c.net.releaseToken()
 			}()
 			c.net.acquireToken()
 			c.lastReal = time.Now()

@@ -60,6 +60,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 // TestParallelAccuracyAllKernels verifies the full parallel pipeline
 // against direct summation for the paper's three kernels.
 func TestParallelAccuracyAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel sweep skipped in -short mode")
+	}
 	rng := rand.New(rand.NewSource(2))
 	patches := geom.CornerClusters(rng, 900, 0.35, 2)
 	pts := geom.Flatten(patches)

@@ -401,7 +401,7 @@ func (rk *rank) applyM2LFFT(l int, checks [][]float64, getCheck func(int32) []fl
 			any = true
 		}
 		if any {
-			rk.fft.Extract(acc, getCheck(int32(bi)))
+			rk.fft.Extract(acc, l, getCheck(int32(bi)))
 			rk.stats.FlopsDownV += int64(5 * gl * td)
 		}
 	}

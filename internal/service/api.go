@@ -85,6 +85,10 @@ type PlanInfo struct {
 	TrgCount  int `json:"trg_count"`
 	SourceDim int `json:"source_dim"`
 	TargetDim int `json:"target_dim"`
+	// FootprintBytes is the estimated resident size of the plan (tree
+	// plus cached operators), the quantity byte-bounded caching evicts
+	// by.
+	FootprintBytes int64 `json:"footprint_bytes"`
 	// BuildNanos is the plan construction time (0 when Cached).
 	BuildNanos int64 `json:"build_ns,omitempty"`
 }
@@ -93,6 +97,16 @@ type PlanInfo struct {
 type EvaluateRequest struct {
 	// Densities holds SourceDim components per source in input order.
 	Densities []float64 `json:"densities"`
+}
+
+// EvaluateBatchRequest is the JSON body of POST
+// /v1/plans/{id}/evaluate_batch: many density vectors evaluated in one
+// engine sweep (one worker slot, near-field kernel evaluations
+// amortized across the batch).
+type EvaluateBatchRequest struct {
+	// Densities holds one density vector per evaluation, each with
+	// SourceDim components per source in input order.
+	Densities [][]float64 `json:"densities"`
 }
 
 // EvalStats is the wire form of the per-stage evaluation breakdown
@@ -129,6 +143,15 @@ type EvaluateResponse struct {
 	Stats      EvalStats `json:"stats"`
 }
 
+// EvaluateBatchResponse carries one potentials vector per density
+// vector (input order preserved) and the aggregate stage timing of the
+// whole batched sweep.
+type EvaluateBatchResponse struct {
+	PlanID     string      `json:"plan_id"`
+	Potentials [][]float64 `json:"potentials"`
+	Stats      EvalStats   `json:"stats"`
+}
+
 // OneShotRequest is the JSON body of POST /v1/evaluate: a plan plus the
 // densities, evaluated in one round trip (the plan is still cached).
 type OneShotRequest struct {
@@ -153,7 +176,10 @@ type MetricsSnapshot struct {
 	PlansEvicted   int64 `json:"plans_evicted"`
 	BuildCoalesced int64 `json:"build_coalesced"`
 	PlansLive      int   `json:"plans_live"`
-	BuildNanos     int64 `json:"build_ns"`
+	// PlansBytes is the summed estimated footprint of live plans (the
+	// quantity Config.CacheBytes bounds).
+	PlansBytes int64 `json:"plans_bytes"`
+	BuildNanos int64 `json:"build_ns"`
 	// Evaluation counters.
 	Evaluations int64     `json:"evaluations"`
 	EvalErrors  int64     `json:"eval_errors"`

@@ -2,14 +2,16 @@ package service
 
 import (
 	"container/list"
-	"sync"
 
 	kifmm "repro"
 	"repro/internal/kernels"
 )
 
 // plan is a prepared evaluator plus the immutable facts needed to
-// validate and describe requests against it.
+// validate and describe requests against it. Evaluation is read-only on
+// the underlying evaluator (the FMM engine keeps all per-call state on
+// the stack of the call), so a plan admits any number of concurrent
+// evaluations without locking.
 type plan struct {
 	id        string
 	ev        *kifmm.Evaluator
@@ -19,12 +21,10 @@ type plan struct {
 	sourceDim int
 	targetDim int
 	buildNS   int64
-
-	// mu serializes Evaluate calls that share this evaluator; the
-	// underlying fmm.Evaluator mutates per-call state (stats), so a plan
-	// admits one evaluation at a time while distinct plans run
-	// concurrently under the service worker pool.
-	mu sync.Mutex
+	// bytes is the estimated footprint (tree + cached operators),
+	// fixed at build time; the cache evicts by total estimated bytes
+	// as well as plan count.
+	bytes int64
 }
 
 func (p *plan) info(cached bool) PlanInfo {
@@ -33,6 +33,7 @@ func (p *plan) info(cached bool) PlanInfo {
 		Boxes: p.ev.Boxes(), Depth: p.ev.Depth(),
 		SrcCount: p.srcCount, TrgCount: p.trgCount,
 		SourceDim: p.sourceDim, TargetDim: p.targetDim,
+		FootprintBytes: p.bytes,
 	}
 	if !cached {
 		inf.BuildNanos = p.buildNS
@@ -40,17 +41,21 @@ func (p *plan) info(cached bool) PlanInfo {
 	return inf
 }
 
-// planCache is an LRU map from plan key to prepared plan. It is not
-// goroutine safe; the Service guards it with its own mutex.
+// planCache is an LRU map from plan key to prepared plan, bounded by
+// plan count and (optionally) by the summed estimated plan footprint.
+// It is not goroutine safe; the Service guards it with its own mutex.
 type planCache struct {
 	capacity int
+	maxBytes int64 // 0 = no bytes bound
+	bytes    int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 }
 
-func newPlanCache(capacity int) *planCache {
+func newPlanCache(capacity int, maxBytes int64) *planCache {
 	return &planCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
 	}
@@ -66,23 +71,34 @@ func (c *planCache) get(id string) (*plan, bool) {
 	return el.Value.(*plan), true
 }
 
-// add inserts p as most recently used and returns the evicted plan, if
-// the cache was at capacity. Adding an existing key just refreshes it.
-func (c *planCache) add(p *plan) *plan {
+// add inserts p as most recently used and returns the evicted plans, if
+// the count or bytes bound was exceeded. The newest plan is always
+// retained even when it alone exceeds the bytes bound — callers hold a
+// direct reference anyway (register returns the plan), so evicting it
+// immediately would only break follow-up requests by id. Adding an
+// existing key just refreshes it.
+func (c *planCache) add(p *plan) []*plan {
 	if el, ok := c.items[p.id]; ok {
 		c.ll.MoveToFront(el)
+		c.bytes += p.bytes - el.Value.(*plan).bytes
 		el.Value = p
 		return nil
 	}
 	c.items[p.id] = c.ll.PushFront(p)
-	if c.ll.Len() <= c.capacity {
-		return nil
+	c.bytes += p.bytes
+	var victims []*plan
+	for c.ll.Len() > 1 && (c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		victim := oldest.Value.(*plan)
+		delete(c.items, victim.id)
+		c.bytes -= victim.bytes
+		victims = append(victims, victim)
 	}
-	oldest := c.ll.Back()
-	c.ll.Remove(oldest)
-	victim := oldest.Value.(*plan)
-	delete(c.items, victim.id)
-	return victim
+	return victims
 }
 
 func (c *planCache) len() int { return c.ll.Len() }
+
+// totalBytes returns the summed estimated footprint of cached plans.
+func (c *planCache) totalBytes() int64 { return c.bytes }

@@ -15,11 +15,12 @@ const maxBodyBytes = 256 << 20
 
 // Server exposes a Service over HTTP:
 //
-//	POST /v1/plans               register geometry     -> PlanInfo
-//	POST /v1/plans/{id}/evaluate densities->potentials -> EvaluateResponse
-//	POST /v1/evaluate            one-shot plan+eval    -> EvaluateResponse
-//	GET  /healthz                liveness              -> HealthResponse
-//	GET  /debug/vars             expvar + "kifmm" metrics
+//	POST /v1/plans                     register geometry       -> PlanInfo
+//	POST /v1/plans/{id}/evaluate       densities->potentials   -> EvaluateResponse
+//	POST /v1/plans/{id}/evaluate_batch many densities, 1 sweep -> EvaluateBatchResponse
+//	POST /v1/evaluate                  one-shot plan+eval      -> EvaluateResponse
+//	GET  /healthz                      liveness                -> HealthResponse
+//	GET  /debug/vars                   expvar + "kifmm" metrics
 type Server struct {
 	svc   *Service
 	mux   *http.ServeMux
@@ -31,6 +32,7 @@ func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate_batch", s.handleEvaluateBatch)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleOneShot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -116,6 +118,20 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EvaluateResponse{PlanID: id, Potentials: pot, Stats: st})
+}
+
+func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req EvaluateBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	pots, st, err := s.svc.EvaluateBatch(id, req.Densities)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateBatchResponse{PlanID: id, Potentials: pots, Stats: st})
 }
 
 func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {

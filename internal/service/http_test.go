@@ -80,6 +80,47 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHTTPEvaluateBatch(t *testing.T) {
+	ts := httptest.NewServer(NewServer(New(Config{})))
+	defer ts.Close()
+
+	req := cloudRequest(6, 120)
+	resp := postJSON(t, ts.URL+"/v1/plans", req)
+	info := decode[PlanInfo](t, resp)
+
+	den := densitiesFor(req, info.SourceDim)
+	single := decode[EvaluateResponse](t, postJSON(t,
+		ts.URL+"/v1/plans/"+info.ID+"/evaluate", EvaluateRequest{Densities: den}))
+
+	resp = postJSON(t, ts.URL+"/v1/plans/"+info.ID+"/evaluate_batch",
+		EvaluateBatchRequest{Densities: [][]float64{den, den}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	batch := decode[EvaluateBatchResponse](t, resp)
+	if len(batch.Potentials) != 2 {
+		t.Fatalf("batch returned %d vectors, want 2", len(batch.Potentials))
+	}
+	for q, pot := range batch.Potentials {
+		if e := relErr(pot, single.Potentials); e > 1e-11 {
+			t.Errorf("batch vector %d differs from single evaluation: %.3e", q, e)
+		}
+	}
+
+	// Empty batch -> 400; unknown plan -> 404.
+	resp = postJSON(t, ts.URL+"/v1/plans/"+info.ID+"/evaluate_batch", EvaluateBatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/plans/deadbeef/evaluate_batch",
+		EvaluateBatchRequest{Densities: [][]float64{den}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown plan batch status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
 func TestHTTPHealthAndVars(t *testing.T) {
 	svc := New(Config{})
 	ts := httptest.NewServer(NewServer(svc))

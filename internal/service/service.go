@@ -38,10 +38,25 @@ type Config struct {
 	// Eviction is LRU; an evicted plan finishes in-flight evaluations
 	// but is no longer addressable by id.
 	CacheSize int
+	// CacheBytes additionally bounds the summed estimated footprint
+	// (tree + cached operators) of cached plans; 0 means no bytes
+	// bound. A near-body-limit geometry can pin ~GBs of operators per
+	// plan, so byte bounds are the defense the count bound alone is
+	// not. The most recent plan is always retained.
+	CacheBytes int64
 	// Workers bounds the number of concurrently running Evaluate calls
 	// across all plans (default GOMAXPROCS). Calls beyond the bound
-	// queue; calls sharing one plan additionally serialize on it.
+	// queue. Evaluation is read-only on plan state, so any number of
+	// those calls may share one plan.
 	Workers int
+	// EvalWorkers is the number of goroutines a single evaluation fans
+	// out over inside the FMM engine (kifmm Options.Workers). The
+	// default 1 optimizes for cross-request throughput: with Workers
+	// concurrent evaluations the machine is already saturated, and
+	// intra-evaluation parallelism would only add scheduling overhead.
+	// Raise it (and lower Workers) to trade throughput for latency on
+	// lightly loaded servers.
+	EvalWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EvalWorkers <= 0 {
+		c.EvalWorkers = 1
 	}
 	return c
 }
@@ -87,7 +105,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
 		cfg:      cfg,
-		cache:    newPlanCache(cfg.CacheSize),
+		cache:    newPlanCache(cfg.CacheSize, cfg.CacheBytes),
 		building: make(map[string]*buildCall),
 		sem:      make(chan struct{}, cfg.Workers),
 	}
@@ -108,7 +126,7 @@ func (s *Service) Register(req PlanRequest) (PlanInfo, error) {
 // immune to the plan being LRU-evicted between registration and
 // evaluation.
 func (s *Service) register(req PlanRequest) (*plan, bool, error) {
-	src, trg, opt, key, err := s.resolve(req)
+	src, trg, opt, spec, key, err := s.resolve(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -133,7 +151,7 @@ func (s *Service) register(req PlanRequest) (*plan, bool, error) {
 	s.building[key] = c
 	s.mu.Unlock()
 
-	s.runBuild(key, c, src, trg, opt)
+	s.runBuild(key, c, src, trg, opt, spec)
 
 	if c.err != nil {
 		return nil, false, c.err
@@ -145,7 +163,7 @@ func (s *Service) register(req PlanRequest) (*plan, bool, error) {
 // worker-slot release, building-table removal, closing c.done — runs in
 // defers so a panicking build cannot leak a pool slot or leave waiters
 // blocked on c.done forever.
-func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kifmm.Options) {
+func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kifmm.Options, spec kernels.Spec) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.plan, c.err = nil, fmt.Errorf("%w: plan build panicked: %v", ErrInternal, r)
@@ -155,9 +173,7 @@ func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kif
 		if c.err == nil {
 			s.built.Add(1)
 			s.buildNS.Add(c.plan.buildNS)
-			if victim := s.cache.add(c.plan); victim != nil {
-				s.evicted.Add(1)
-			}
+			s.evicted.Add(int64(len(s.cache.add(c.plan))))
 		}
 		s.mu.Unlock()
 		close(c.done)
@@ -167,38 +183,47 @@ func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kif
 	// burst of distinct registrations cannot saturate the machine.
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	c.plan, c.err = s.build(key, src, trg, opt)
+	c.plan, c.err = s.build(key, src, trg, opt, spec)
 }
 
-// resolve validates the request and computes the content-hash plan key.
-func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Options, key string, err error) {
+// resolve validates the request, computes the content-hash plan key and
+// returns the normalized kernel spec alongside (build reuses it instead
+// of re-deriving it from the kernel).
+func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Options, spec kernels.Spec, key string, err error) {
 	src = req.Src
 	if len(src) == 0 || len(src)%3 != 0 {
-		return nil, nil, opt, "", badRequest("src needs 3k > 0 coordinates, got %d", len(src))
+		return nil, nil, opt, spec, "", badRequest("src needs 3k > 0 coordinates, got %d", len(src))
 	}
 	if err := checkCoordinates("src", src); err != nil {
-		return nil, nil, opt, "", err
+		return nil, nil, opt, spec, "", err
 	}
 	trg = req.Trg
 	if len(trg) == 0 {
 		trg = src
 	} else if len(trg)%3 != 0 {
-		return nil, nil, opt, "", badRequest("trg needs 3k coordinates, got %d", len(trg))
+		return nil, nil, opt, spec, "", badRequest("trg needs 3k coordinates, got %d", len(trg))
 	} else if err := checkCoordinates("trg", trg); err != nil {
-		return nil, nil, opt, "", err
+		return nil, nil, opt, spec, "", err
 	}
 	if err := checkOptionBounds(req); err != nil {
-		return nil, nil, opt, "", err
+		return nil, nil, opt, spec, "", err
 	}
 	opt, err = req.options()
 	if err != nil {
-		return nil, nil, opt, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	// The per-evaluation fan-out is server policy, not plan identity
+	// (PlanKey excludes Workers).
+	opt.Workers = s.cfg.EvalWorkers
+	spec, err = kernels.SpecFor(opt.Kernel)
+	if err != nil {
+		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
 	}
 	key, err = kifmm.PlanKey(src, trg, opt)
 	if err != nil {
-		return nil, nil, opt, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
 	}
-	return src, trg, opt, key, nil
+	return src, trg, opt, spec, key, nil
 }
 
 // Option bounds enforced on network input. Surface construction costs
@@ -210,6 +235,13 @@ const (
 	maxRequestMaxPoints = 100000
 	maxRequestMaxDepth  = morton.MaxLevel
 )
+
+// maxBatchSize bounds the number of density vectors one batch
+// evaluation may carry. The engine holds one upward and one downward
+// equivalent density per box per vector, so memory grows linearly in
+// the batch; 256 keeps a worst-case request within the same order as
+// the 256 MiB body bound.
+const maxBatchSize = 256
 
 // maxCoordinate bounds input coordinates. Tree construction computes
 // the bounding-cube half width (hi-lo)/2 and squared pair distances;
@@ -246,14 +278,10 @@ func checkOptionBounds(req PlanRequest) error {
 
 // build constructs the evaluator (outside the service lock: tree and
 // operator setup is the expensive amortized step). The plan stores the
-// normalized kernel spec — explicit parameters regardless of how the
-// registering client spelled them — so the PlanInfo echo is independent
-// of registration order.
-func (s *Service) build(key string, src, trg []float64, opt kifmm.Options) (*plan, error) {
-	spec, err := kernels.SpecFor(opt.Kernel)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
-	}
+// normalized kernel spec resolve derived — explicit parameters
+// regardless of how the registering client spelled them — so the
+// PlanInfo echo is independent of registration order.
+func (s *Service) build(key string, src, trg []float64, opt kifmm.Options, spec kernels.Spec) (*plan, error) {
 	start := time.Now()
 	ev, err := kifmm.NewEvaluator(src, trg, opt)
 	if err != nil {
@@ -264,46 +292,89 @@ func (s *Service) build(key string, src, trg []float64, opt kifmm.Options) (*pla
 		srcCount: len(src) / 3, trgCount: len(trg) / 3,
 		sourceDim: opt.Kernel.SourceDim(), targetDim: opt.Kernel.TargetDim(),
 		buildNS: time.Since(start).Nanoseconds(),
+		bytes:   ev.FootprintBytes(),
 	}, nil
 }
 
-// Evaluate runs one density→potential evaluation on a registered plan.
-func (s *Service) Evaluate(planID string, den []float64) ([]float64, EvalStats, error) {
+// lookup resolves a plan id against the cache.
+func (s *Service) lookup(planID string) (*plan, error) {
 	s.mu.Lock()
 	p, ok := s.cache.get(planID)
 	s.mu.Unlock()
 	if !ok {
-		return nil, EvalStats{}, fmt.Errorf("%w: %q", ErrPlanNotFound, planID)
+		return nil, fmt.Errorf("%w: %q", ErrPlanNotFound, planID)
+	}
+	return p, nil
+}
+
+// Evaluate runs one density→potential evaluation on a registered plan.
+func (s *Service) Evaluate(planID string, den []float64) ([]float64, EvalStats, error) {
+	p, err := s.lookup(planID)
+	if err != nil {
+		return nil, EvalStats{}, err
 	}
 	return s.evaluatePlan(p, den)
 }
 
-// evaluatePlan blocks for exclusive use of the plan first and only then
-// for a worker-pool slot, so a queue of evaluations on one hot plan
-// waits on that plan's mutex without occupying pool slots — evaluations
-// of other plans keep running.
+// EvaluateBatch evaluates many density vectors against one registered
+// plan in a single engine sweep, amortizing tree traversal and
+// near-field kernel evaluations across the batch. It occupies one
+// worker slot regardless of batch size.
+func (s *Service) EvaluateBatch(planID string, dens [][]float64) ([][]float64, EvalStats, error) {
+	p, err := s.lookup(planID)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	if len(dens) == 0 {
+		s.evalErrors.Add(1)
+		return nil, EvalStats{}, badRequest("batch needs at least one density vector")
+	}
+	if len(dens) > maxBatchSize {
+		s.evalErrors.Add(1)
+		return nil, EvalStats{}, badRequest("batch of %d density vectors exceeds the limit %d", len(dens), maxBatchSize)
+	}
+	want := p.srcCount * p.sourceDim
+	for q, den := range dens {
+		if len(den) != want {
+			s.evalErrors.Add(1)
+			return nil, EvalStats{}, badRequest("densities[%d] length %d, want %d (%d sources x %d components)",
+				q, len(den), want, p.srcCount, p.sourceDim)
+		}
+	}
+	return s.runEval(p, dens)
+}
+
+// evaluatePlan validates and runs a single-vector evaluation.
 func (s *Service) evaluatePlan(p *plan, den []float64) ([]float64, EvalStats, error) {
 	if want := p.srcCount * p.sourceDim; len(den) != want {
 		s.evalErrors.Add(1)
 		return nil, EvalStats{}, badRequest("densities length %d, want %d (%d sources x %d components)",
 			len(den), want, p.srcCount, p.sourceDim)
 	}
+	pots, st, err := s.runEval(p, [][]float64{den})
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	return pots[0], st, nil
+}
 
-	pot, st, err := func() (pot []float64, st fmm.Stats, err error) {
-		// Mirror runBuild's panic safety: release the plan mutex and the
-		// worker slot in defers so a panic in the numeric evaluation path
-		// cannot wedge the plan or shrink the pool.
+// runEval executes one (possibly batched) evaluation under a worker
+// slot. Evaluation is read-only on plan state, so concurrent calls
+// sharing a plan need no per-plan serialization — the pool slot is the
+// only gate.
+func (s *Service) runEval(p *plan, dens [][]float64) ([][]float64, EvalStats, error) {
+	pots, st, err := func() (pots [][]float64, st fmm.Stats, err error) {
+		// Mirror runBuild's panic safety: release the worker slot in a
+		// defer so a panic in the numeric evaluation path cannot shrink
+		// the pool.
 		defer func() {
 			if r := recover(); r != nil {
-				pot, err = nil, fmt.Errorf("%w: evaluation panicked: %v", ErrInternal, r)
+				pots, err = nil, fmt.Errorf("%w: evaluation panicked: %v", ErrInternal, r)
 			}
 		}()
-		p.mu.Lock()
-		defer p.mu.Unlock()
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		pot, err = p.ev.Evaluate(den)
-		return pot, p.ev.Stats(), err
+		return p.ev.EvaluateBatchStats(dens)
 	}()
 	if err != nil {
 		s.evalErrors.Add(1)
@@ -312,8 +383,8 @@ func (s *Service) evaluatePlan(p *plan, den []float64) ([]float64, EvalStats, er
 		}
 		return nil, EvalStats{}, badRequest("%s", err)
 	}
-	s.recordStats(st)
-	return pot, statsWire(st), nil
+	s.recordStats(st, len(dens))
+	return pots, statsWire(st), nil
 }
 
 // EvaluateOnce registers (or resolves) the plan and evaluates in one
@@ -339,8 +410,15 @@ func (s *Service) Plans() int {
 	return s.cache.len()
 }
 
-func (s *Service) recordStats(st fmm.Stats) {
-	s.evaluations.Add(1)
+// PlansBytes returns the summed estimated footprint of cached plans.
+func (s *Service) PlansBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.totalBytes()
+}
+
+func (s *Service) recordStats(st fmm.Stats, evals int) {
+	s.evaluations.Add(int64(evals))
 	s.stageUp.Add(st.Up.Nanoseconds())
 	s.stageDownU.Add(st.DownU.Nanoseconds())
 	s.stageDownV.Add(st.DownV.Nanoseconds())
@@ -358,13 +436,17 @@ func (s *Service) Metrics() MetricsSnapshot {
 	dw := s.stageDownW.Load()
 	dx := s.stageDownX.Load()
 	ev := s.stageEval.Load()
+	s.mu.Lock()
+	live, liveBytes := s.cache.len(), s.cache.totalBytes()
+	s.mu.Unlock()
 	return MetricsSnapshot{
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
 		PlansBuilt:     s.built.Load(),
 		PlansEvicted:   s.evicted.Load(),
 		BuildCoalesced: s.coalesced.Load(),
-		PlansLive:      s.Plans(),
+		PlansLive:      live,
+		PlansBytes:     liveBytes,
 		BuildNanos:     s.buildNS.Load(),
 		Evaluations:    s.evaluations.Load(),
 		EvalErrors:     s.evalErrors.Load(),

@@ -209,7 +209,8 @@ func TestConcurrentEvaluations(t *testing.T) {
 	svc := New(Config{Workers: 4})
 
 	// Two plans; hammer both concurrently and check every result against
-	// a per-plan reference. Calls sharing a plan serialize internally.
+	// a per-plan reference. Calls sharing a plan run concurrently
+	// (evaluation is read-only on plan state); the pool bounds them.
 	type fixture struct {
 		id   string
 		den  []float64
@@ -257,6 +258,169 @@ func TestConcurrentEvaluations(t *testing.T) {
 	}
 	if m := svc.Metrics(); m.Evaluations != 2*rounds {
 		t.Errorf("Evaluations = %d, want %d", m.Evaluations, 2*rounds)
+	}
+}
+
+// TestConcurrentSharedPlanIdentical hammers ONE cached plan from many
+// goroutines — the headline many-clients-one-geometry workload — and
+// requires every result to be bitwise identical to an undisturbed
+// sequential evaluation. Run under -race this is the canary for any
+// evaluation-path mutation of shared plan state.
+func TestConcurrentSharedPlanIdentical(t *testing.T) {
+	svc := New(Config{Workers: 8})
+	req := cloudRequest(3, 500)
+	info, err := svc.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := densitiesFor(req, info.SourceDim)
+	want, _, err := svc.Evaluate(info.ID, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			got, st, err := svc.Evaluate(info.ID, den)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if st.TotalNanos <= 0 {
+				errc <- fmt.Errorf("caller %d: empty per-call stats", c)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					errc <- fmt.Errorf("caller %d: result differs at %d under concurrency", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateBatch: the batch path must agree with per-vector
+// evaluations and count one evaluation per vector in the metrics.
+func TestEvaluateBatch(t *testing.T) {
+	svc := New(Config{})
+	req := cloudRequest(4, 300)
+	info, err := svc.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	dens := make([][]float64, k)
+	want := make([][]float64, k)
+	for q := 0; q < k; q++ {
+		dens[q] = densitiesFor(req, info.SourceDim)
+		for i := range dens[q] {
+			dens[q][i] += float64(q)
+		}
+		pot, _, err := svc.Evaluate(info.ID, dens[q])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = pot
+	}
+	evalsBefore := svc.Metrics().Evaluations
+
+	pots, st, err := svc.EvaluateBatch(info.ID, dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pots) != k {
+		t.Fatalf("got %d potential vectors, want %d", len(pots), k)
+	}
+	if st.TotalNanos <= 0 {
+		t.Errorf("batch stats empty: %+v", st)
+	}
+	for q := range pots {
+		if e := relErr(pots[q], want[q]); e > 1e-11 {
+			t.Errorf("batch vector %d differs from single evaluation: %.3e", q, e)
+		}
+	}
+	if got := svc.Metrics().Evaluations - evalsBefore; got != k {
+		t.Errorf("batch of %d counted %d evaluations", k, got)
+	}
+
+	// Validation: empty batch, ragged vector, unknown plan, batch bomb.
+	if _, _, err := svc.EvaluateBatch(info.ID, nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty batch: err = %v, want ErrBadRequest", err)
+	}
+	if _, _, err := svc.EvaluateBatch(info.ID, [][]float64{dens[0], {1}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("ragged batch: err = %v, want ErrBadRequest", err)
+	}
+	if _, _, err := svc.EvaluateBatch("no-such-plan", dens); !errors.Is(err, ErrPlanNotFound) {
+		t.Errorf("unknown plan: err = %v, want ErrPlanNotFound", err)
+	}
+	huge := make([][]float64, maxBatchSize+1)
+	for i := range huge {
+		huge[i] = dens[0]
+	}
+	if _, _, err := svc.EvaluateBatch(info.ID, huge); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("oversized batch: err = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestBytesBoundedEviction: the cache must evict by summed estimated
+// footprint, not only by plan count.
+func TestBytesBoundedEviction(t *testing.T) {
+	probe := New(Config{})
+	first, err := probe.Register(cloudRequest(1, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FootprintBytes <= 0 {
+		t.Fatalf("plan footprint estimate = %d, want > 0", first.FootprintBytes)
+	}
+
+	// Budget for ~1.5 equally sized plans: the second registration must
+	// evict the first even though the count bound (32) is far away.
+	svc := New(Config{CacheBytes: first.FootprintBytes * 3 / 2})
+	a, err := svc.Register(cloudRequest(1, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register(cloudRequest(2, 150)); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.PlansLive != 1 || m.PlansEvicted != 1 {
+		t.Errorf("live=%d evicted=%d after exceeding byte budget, want 1/1", m.PlansLive, m.PlansEvicted)
+	}
+	if m.PlansBytes > svc.cfg.CacheBytes {
+		t.Errorf("PlansBytes = %d exceeds budget %d", m.PlansBytes, svc.cfg.CacheBytes)
+	}
+	den := densitiesFor(cloudRequest(1, 150), 1)
+	if _, _, err := svc.Evaluate(a.ID, den); !errors.Is(err, ErrPlanNotFound) {
+		t.Errorf("byte-evicted plan: err = %v, want ErrPlanNotFound", err)
+	}
+
+	// A single plan larger than the whole budget is still retained (the
+	// registering caller holds it anyway).
+	tiny := New(Config{CacheBytes: 1})
+	info, err := tiny.Register(cloudRequest(3, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Plans() != 1 {
+		t.Errorf("oversized plan not retained, live = %d", tiny.Plans())
+	}
+	if _, _, err := tiny.Evaluate(info.ID, den); err != nil {
+		t.Errorf("oversized-but-newest plan must evaluate: %v", err)
 	}
 }
 

@@ -31,10 +31,15 @@ type FFTM2L struct {
 // tensorCache shares transformed kernel tensors process-wide, mirroring
 // the operator cache in translate.go: tensors depend only on (kernel,
 // degree, box half-width, offset), so evaluator sweeps and parallel
-// ranks reuse one copy.
+// ranks reuse one copy. Reads vastly outnumber writes once the cache is
+// warm — every M2L accumulation of every worker fetches a tensor — so
+// lookups take a read lock; builds serialize on tensorBuildMu, keeping
+// the first parallel evaluation from building the same tensor on every
+// worker.
 var (
-	tensorMu    sync.Mutex
-	tensorCache = map[tensorKey][][]complex128{}
+	tensorMu      sync.RWMutex
+	tensorBuildMu sync.Mutex
+	tensorCache   = map[tensorKey][][]complex128{}
 )
 
 type tensorKey struct {
@@ -110,27 +115,33 @@ func (f *FFTM2L) NewSourceGrids() [][]complex128 {
 // Accumulate adds the Fourier-space M2L contribution of a source box
 // (transformed grids src) to a target accumulator, for boxes at the
 // given level with integer center offset k = (targetCell - sourceCell).
+// The homogeneous level scale is NOT applied here: every contribution
+// to one accumulator comes from the same level, so Extract applies the
+// scale once per surface point instead of once per grid element — the
+// Hadamard loop below is the single hottest loop of an evaluation.
 func (f *FFTM2L) Accumulate(acc, src [][]complex128, level int, k [3]int) {
-	key, escale, _ := f.set.scaleFor(level)
+	key, _, _ := f.set.scaleFor(level)
 	t := f.tensor(key, k)
 	sd, td := f.set.Kern.SourceDim(), f.set.Kern.TargetDim()
-	s := complex(escale, 0)
 	for a := 0; a < td; a++ {
 		dst := acc[a]
 		for b := 0; b < sd; b++ {
 			tg := t[a*sd+b]
 			sg := src[b]
 			for i := range dst {
-				dst[i] += s * tg[i] * sg[i]
+				dst[i] += tg[i] * sg[i]
 			}
 		}
 	}
 }
 
 // Extract inverse-transforms the accumulator and reads off the downward
-// check potential at the DC surface points, adding into check
-// (CheckCount values).
-func (f *FFTM2L) Extract(acc [][]complex128, check []float64) {
+// check potential at the DC surface points, applying the level's
+// analytic operator scale (see Accumulate) and adding into check
+// (CheckCount values). level must match the Accumulate calls that
+// filled acc.
+func (f *FFTM2L) Extract(acc [][]complex128, level int, check []float64) {
+	_, escale, _ := f.set.scaleFor(level)
 	td := f.set.Kern.TargetDim()
 	p, m := f.set.P, f.M
 	for a := 0; a < td; a++ {
@@ -140,7 +151,7 @@ func (f *FFTM2L) Extract(acc [][]complex128, check []float64) {
 			x := vi / (p * p)
 			y := vi / p % p
 			z := vi % p
-			check[si*td+a] += real(g[(x*m+y)*m+z])
+			check[si*td+a] += escale * real(g[(x*m+y)*m+z])
 		}
 	}
 }
@@ -150,11 +161,30 @@ func (f *FFTM2L) Extract(acc [][]complex128, check []float64) {
 func (f *FFTM2L) tensor(key int, k [3]int) [][]complex128 {
 	r := f.set.geomRadius(key)
 	tk := tensorKey{kern: f.set.Kern, p: f.set.P, radius: r, off: k}
-	tensorMu.Lock()
-	defer tensorMu.Unlock()
-	if t, ok := tensorCache[tk]; ok {
+	tensorMu.RLock()
+	t, ok := tensorCache[tk]
+	tensorMu.RUnlock()
+	if ok {
 		return t
 	}
+	tensorBuildMu.Lock()
+	defer tensorBuildMu.Unlock()
+	tensorMu.RLock()
+	t, ok = tensorCache[tk]
+	tensorMu.RUnlock()
+	if ok {
+		return t
+	}
+	t = f.buildTensor(r, k)
+	tensorMu.Lock()
+	tensorCache[tk] = t
+	tensorMu.Unlock()
+	return t
+}
+
+// buildTensor samples the kernel over every lattice offset of the
+// translation and forward-transforms the result.
+func (f *FFTM2L) buildTensor(r float64, k [3]int) [][]complex128 {
 	p, m := f.set.P, f.M
 	h := surface.Spacing(p, r)
 	sd, td := f.set.Kern.SourceDim(), f.set.Kern.TargetDim()
@@ -185,8 +215,26 @@ func (f *FFTM2L) tensor(key int, k [3]int) [][]complex128 {
 	for c := range t {
 		f.plan.Forward(t[c])
 	}
-	tensorCache[tk] = t
 	return t
+}
+
+// CachedBytes estimates the memory held by transformed kernel tensors
+// for this backend's kernel and degree. The cache is process-global, so
+// plans sharing a kernel/degree each attribute the same tensors — a
+// conservative overestimate for byte-bounded plan caches.
+func (f *FFTM2L) CachedBytes() int64 {
+	tensorMu.RLock()
+	defer tensorMu.RUnlock()
+	var b int64
+	for tk, t := range tensorCache {
+		if tk.kern != f.set.Kern || tk.p != f.set.P {
+			continue
+		}
+		for _, g := range t {
+			b += int64(len(g)) * 16
+		}
+	}
+	return b
 }
 
 func wrap(d, m int) int {

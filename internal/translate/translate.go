@@ -190,6 +190,41 @@ func (s *Set) geomRadius(key int) float64 {
 	return s.BoxHalfWidth(key)
 }
 
+// denseBytes returns the data size of a cached operator (nil-safe).
+func denseBytes(m *linalg.Dense) int64 {
+	if m == nil {
+		return 0
+	}
+	return int64(m.Rows) * int64(m.Cols) * 8
+}
+
+// CachedBytes estimates the memory held by this set's cached translation
+// operators. Level operator sets are shared process-wide, so sets over
+// the same (kernel, degree, tolerance, geometry scale) each attribute
+// the same matrices — a conservative overestimate for byte-bounded plan
+// caches.
+func (s *Set) CachedBytes() int64 {
+	s.mu.Lock()
+	levels := make([]*levelOps, 0, len(s.levels))
+	for _, l := range s.levels {
+		levels = append(levels, l)
+	}
+	s.mu.Unlock()
+	var b int64
+	for _, l := range levels {
+		l.mu.Lock()
+		b += denseBytes(l.pinvUp) + denseBytes(l.pinvDown)
+		for o := 0; o < 8; o++ {
+			b += denseBytes(l.m2m[o]) + denseBytes(l.l2l[o])
+		}
+		for _, m := range l.m2l {
+			b += denseBytes(m)
+		}
+		l.mu.Unlock()
+	}
+	return b
+}
+
 // kernelMatrix builds the dense interaction matrix from the source
 // surface (center cs, radius rs) to the target surface (ct, rt).
 func (s *Set) kernelMatrix(ct [3]float64, rt float64, cs [3]float64, rs float64) *linalg.Dense {

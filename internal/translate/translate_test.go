@@ -248,7 +248,7 @@ func TestFFTM2LMatchesDense(t *testing.T) {
 				acc := f.NewAccumulator()
 				f.Accumulate(acc, src, level, off)
 				got := make([]float64, s.CheckCount())
-				f.Extract(acc, got)
+				f.Extract(acc, level, got)
 				scale := 0.0
 				for _, v := range want {
 					if a := math.Abs(v); a > scale {
@@ -288,7 +288,7 @@ func TestFFTM2LAccumulatesMultipleSources(t *testing.T) {
 		s.M2LDirect(level, off).Apply(want, phi)
 	}
 	got := make([]float64, s.CheckCount())
-	f.Extract(acc, got)
+	f.Extract(acc, level, got)
 	for i := range got {
 		if math.Abs(got[i]-want[i]) > 1e-11 {
 			t.Fatalf("accumulated FFT M2L mismatch at %d: %v vs %v", i, got[i], want[i])

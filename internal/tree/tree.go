@@ -17,6 +17,7 @@ package tree
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"repro/internal/morton"
 )
@@ -355,4 +356,21 @@ func (t *Tree) Leaves() []int32 {
 		}
 	}
 	return out
+}
+
+// MemoryBytes estimates the resident size of the tree: coordinates,
+// permutations, the box array with its interaction lists, and the key
+// index. The evaluation service uses it for byte-bounded plan caching.
+func (t *Tree) MemoryBytes() int64 {
+	b := int64(len(t.SrcPoints)+len(t.TrgPoints)) * 8
+	b += int64(len(t.SrcPerm)+len(t.TrgPerm)) * 4
+	b += int64(len(t.LevelStart)) * 8
+	b += int64(len(t.Boxes)) * int64(unsafe.Sizeof(Box{}))
+	for i := range t.Boxes {
+		bx := &t.Boxes[i]
+		b += int64(len(bx.U)+len(bx.V)+len(bx.W)+len(bx.X)) * 4
+	}
+	// Key index: ~key + value + bucket overhead per entry.
+	b += int64(len(t.index)) * 24
+	return b
 }

@@ -23,6 +23,12 @@
 //	ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{Kernel: kifmm.Laplace()})
 //	pot, err := ev.Evaluate(densities)
 //
+// Evaluation fans its per-box work over a goroutine pool
+// (Options.Workers, default GOMAXPROCS) and is read-only on the
+// prepared plan, so one Evaluator serves concurrent callers;
+// EvaluateBatch amortizes tree traversal and near-field kernel
+// evaluations over many density vectors at once.
+//
 // The parallel algorithm of the paper (local essential trees, global
 // tree array, owner-coordinated ghost exchange) runs on simulated MPI
 // ranks via EvaluateParallel.
@@ -70,7 +76,7 @@ const (
 
 // Options configure an Evaluator. Zero values select the paper-matching
 // defaults: degree 6 surfaces (~1e-5 relative error for Laplace), leaf
-// threshold s=60, FFT M2L.
+// threshold s=60, FFT M2L, one worker per logical CPU.
 type Options struct {
 	// Kernel is required.
 	Kernel Kernel
@@ -84,11 +90,44 @@ type Options struct {
 	Backend M2LBackend
 	// PinvTol is the pseudo-inverse truncation threshold.
 	PinvTol float64
+	// Workers is the number of goroutines one evaluation fans its
+	// per-box work out over (default GOMAXPROCS; 1 forces sequential
+	// evaluation). Results are bitwise identical for every worker
+	// count. Workers does not change what an evaluator computes, so
+	// PlanKey deliberately excludes it.
+	Workers int
+}
+
+// fmmOptions maps the public Options onto the engine options. It is the
+// single conversion point shared by NewEvaluator and the plan-key
+// normalization in plan.go, so a new Options field cannot be wired into
+// construction while silently missing the plan-key hash —
+// TestPlanKeyCoversOptions fails until the field is added to either
+// planKeyHashedOptionFields or planKeyResultNeutralOptionFields.
+func (o Options) fmmOptions() fmm.Options {
+	return fmm.Options{
+		Kernel: o.Kernel, Degree: o.Degree, MaxPoints: o.MaxPoints,
+		MaxDepth: o.MaxDepth, Backend: o.Backend, PinvTol: o.PinvTol,
+		Workers: o.Workers,
+	}
+}
+
+// optionsFromFMM is the inverse of fmmOptions, used to surface the
+// engine's defaulting rules (fmm.ApplyDefaults) back through the public
+// type.
+func optionsFromFMM(f fmm.Options) Options {
+	return Options{
+		Kernel: f.Kernel, Degree: f.Degree, MaxPoints: f.MaxPoints,
+		MaxDepth: f.MaxDepth, Backend: f.Backend, PinvTol: f.PinvTol,
+		Workers: f.Workers,
+	}
 }
 
 // Evaluator is a prepared FMM: an adaptive octree over fixed source and
 // target points plus cached translation operators. Build once, call
 // Evaluate for every new density vector (e.g. per Krylov iteration).
+// Evaluation is read-only on the prepared plan, so one Evaluator is
+// safe for concurrent Evaluate/EvaluateBatch callers.
 type Evaluator struct {
 	inner *fmm.Evaluator
 }
@@ -96,10 +135,7 @@ type Evaluator struct {
 // NewEvaluator builds the octree and operators over src and trg, flat
 // (x0,y0,z0,x1,...) coordinate slices which may be the same slice.
 func NewEvaluator(src, trg []float64, opt Options) (*Evaluator, error) {
-	inner, err := fmm.New(src, trg, fmm.Options{
-		Kernel: opt.Kernel, Degree: opt.Degree, MaxPoints: opt.MaxPoints,
-		MaxDepth: opt.MaxDepth, Backend: opt.Backend, PinvTol: opt.PinvTol,
-	})
+	inner, err := fmm.New(src, trg, opt.fmmOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -113,9 +149,39 @@ func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
 	return e.inner.Evaluate(den)
 }
 
+// EvaluateStats is Evaluate returning this call's stage breakdown
+// directly, so concurrent callers get their own stats instead of racing
+// on Stats().
+func (e *Evaluator) EvaluateStats(den []float64) ([]float64, fmm.Stats, error) {
+	return e.inner.EvaluateStats(den)
+}
+
+// EvaluateBatch evaluates several density vectors in one sweep of the
+// tree, amortizing traversal and near-field kernel evaluations across
+// the batch — the shape Krylov solvers with multiple right-hand sides
+// and the evaluation service's batch endpoint use. Results match
+// per-vector Evaluate calls to accumulation-order rounding.
+func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
+	return e.inner.EvaluateBatch(dens)
+}
+
+// EvaluateBatchStats is EvaluateBatch returning the aggregate stage
+// breakdown of the whole batch.
+func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, fmm.Stats, error) {
+	return e.inner.EvaluateBatchStats(dens)
+}
+
 // Stats returns the per-stage timing and flop breakdown of the most
-// recent Evaluate call.
+// recently completed evaluation.
 func (e *Evaluator) Stats() fmm.Stats { return e.inner.Stats() }
+
+// Workers returns the number of goroutines one evaluation uses.
+func (e *Evaluator) Workers() int { return e.inner.Workers() }
+
+// FootprintBytes estimates the resident memory of the prepared plan
+// (tree plus cached operators); the evaluation service uses it for
+// byte-bounded plan caching.
+func (e *Evaluator) FootprintBytes() int64 { return e.inner.FootprintBytes() }
 
 // Boxes returns the number of octree boxes (diagnostics).
 func (e *Evaluator) Boxes() int { return len(e.inner.Tree.Boxes) }

@@ -25,17 +25,27 @@ func KernelFromSpec(s KernelSpec) (Kernel, error) { return kernels.FromSpec(s) }
 
 // normalizeOptions applies the exact defaults fmm.New applies (one
 // shared implementation), so that zero-valued and explicit-default
-// Options produce the same plan key.
+// Options produce the same plan key. The conversion in both directions
+// goes through the shared fmmOptions/optionsFromFMM helpers, the same
+// mapping NewEvaluator constructs with.
 func normalizeOptions(opt Options) Options {
-	f := fmm.ApplyDefaults(fmm.Options{
-		Kernel: opt.Kernel, Degree: opt.Degree, MaxPoints: opt.MaxPoints,
-		MaxDepth: opt.MaxDepth, Backend: opt.Backend, PinvTol: opt.PinvTol,
-	})
-	return Options{
-		Kernel: f.Kernel, Degree: f.Degree, MaxPoints: f.MaxPoints,
-		MaxDepth: f.MaxDepth, Backend: f.Backend, PinvTol: f.PinvTol,
-	}
+	return optionsFromFMM(fmm.ApplyDefaults(opt.fmmOptions()))
 }
+
+// planKeyHashedOptionFields and planKeyResultNeutralOptionFields
+// together must name every field of Options: the first lists fields
+// PlanKey hashes, the second fields deliberately excluded because they
+// cannot change what an evaluator computes (Workers only partitions
+// per-box work across goroutines; results are bitwise identical for
+// every worker count, and hashing it would fragment the plan cache by
+// machine size). TestPlanKeyCoversOptions fails when a new Options
+// field is in neither list, so it cannot silently miss the hash.
+var (
+	planKeyHashedOptionFields = []string{
+		"Kernel", "Degree", "MaxPoints", "MaxDepth", "Backend", "PinvTol",
+	}
+	planKeyResultNeutralOptionFields = []string{"Workers"}
+)
 
 // PlanKey returns a content hash identifying a prepared Evaluator: two
 // calls agree exactly when NewEvaluator(src, trg, opt) would build an

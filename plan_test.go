@@ -1,6 +1,9 @@
 package kifmm
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func somePoints(n int) []float64 {
 	pts := make([]float64, 3*n)
@@ -118,6 +121,53 @@ func TestPlanKeyDiscriminates(t *testing.T) {
 	}
 	if key == base {
 		t.Errorf("perturbed geometry did not change the plan key")
+	}
+}
+
+// TestPlanKeyCoversOptions guards the plan-key hash against silently
+// missing a future Options field: every field must be declared either
+// hashed (and wired into PlanKey) or result-neutral (like Workers,
+// which cannot change what an evaluator computes).
+func TestPlanKeyCoversOptions(t *testing.T) {
+	declared := map[string]string{}
+	for _, f := range planKeyHashedOptionFields {
+		declared[f] = "hashed"
+	}
+	for _, f := range planKeyResultNeutralOptionFields {
+		if _, dup := declared[f]; dup {
+			t.Fatalf("field %s declared both hashed and result-neutral", f)
+		}
+		declared[f] = "result-neutral"
+	}
+	typ := reflect.TypeOf(Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := declared[name]; !ok {
+			t.Errorf("Options.%s is in neither planKeyHashedOptionFields nor planKeyResultNeutralOptionFields; decide whether PlanKey must hash it", name)
+		}
+		delete(declared, name)
+	}
+	for name := range declared {
+		t.Errorf("declared plan-key field %s does not exist on Options", name)
+	}
+}
+
+// TestPlanKeyIgnoresWorkers: evaluation concurrency is not plan
+// identity — hashing it would fragment the cache by machine size.
+func TestPlanKeyIgnoresWorkers(t *testing.T) {
+	pts := somePoints(50)
+	base, err := PlanKey(pts, pts, Options{Kernel: Laplace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 97} {
+		key, err := PlanKey(pts, pts, Options{Kernel: Laplace(), Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != base {
+			t.Errorf("Workers=%d changed the plan key", w)
+		}
 	}
 }
 

@@ -16,10 +16,26 @@ type SolverOptions = krylov.Options
 // SolverResult reports Krylov convergence.
 type SolverResult = krylov.Result
 
+// BatchMatVec applies the operator to many vectors at once,
+// ys[i] = A*xs[i] — the shape of Evaluator.EvaluateBatch.
+type BatchMatVec = krylov.BatchMatVec
+
 // SolveGMRES solves A x = b by restarted GMRES; x is the initial guess
 // and is overwritten with the solution.
 func SolveGMRES(apply MatVec, b, x []float64, opt SolverOptions) (SolverResult, error) {
 	return krylov.GMRES(apply, b, x, opt)
+}
+
+// SolveGMRESBatch solves many systems sharing one operator (e.g. a
+// boundary integral equation with many boundary conditions), running
+// the per-system GMRES iterations in lockstep so each round of operator
+// applications becomes a single batched call. With an FMM operator the
+// tree traversal and near-field kernel evaluations are then paid once
+// per round instead of once per system; see Evaluator.EvaluateBatch.
+// xs[i] is the initial guess of system i, overwritten with its
+// solution.
+func SolveGMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt SolverOptions) ([]SolverResult, error) {
+	return krylov.GMRESBatch(apply, bs, xs, opt)
 }
 
 // SolveBiCGSTAB solves A x = b by BiCGSTAB.

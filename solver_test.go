@@ -78,6 +78,59 @@ func TestSolveBiCGSTAB(t *testing.T) {
 	}
 }
 
+// TestSolveGMRESBatchWithFMMOperator: many right-hand sides against one
+// FMM operator, the workload SolveGMRESBatch exists for. Every system
+// must converge to the accuracy its sequential counterpart reaches.
+func TestSolveGMRESBatchWithFMMOperator(t *testing.T) {
+	pts := FlattenPatches(UniformPatches(13, 120))
+	n := len(pts) / 3
+	ev, err := NewEvaluator(pts, pts, Options{Kernel: Laplace(), Degree: 4, MaxPoints: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shift = 1.0
+	apply := func(xs [][]float64) ([][]float64, error) {
+		pots, err := ev.EvaluateBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range pots {
+			for j := range pots[i] {
+				pots[i][j] += shift * xs[i][j]
+			}
+		}
+		return pots, nil
+	}
+	const k = 3
+	wants := make([][]float64, k)
+	bs := make([][]float64, k)
+	xs := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		wants[s] = make([]float64, n)
+		for i := range wants[s] {
+			wants[s][i] = 1 + float64((i+s)%7)/7
+		}
+		xs[s] = make([]float64, n)
+	}
+	rhs, err := apply(wants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(bs, rhs)
+	results, err := SolveGMRESBatch(apply, bs, xs, SolverOptions{Tol: 1e-8, MaxIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, res := range results {
+		if !res.Converged {
+			t.Fatalf("system %d did not converge: %+v", s, res)
+		}
+		if e := solutionErr(xs[s], wants[s]); e > 1e-5 {
+			t.Errorf("system %d solution error = %g", s, e)
+		}
+	}
+}
+
 // TestSolverWithFMMOperator closes the loop the paper describes: a
 // Krylov solve whose operator is an FMM evaluation (first-kind system
 // G x = b on a small cloud, regularized by a diagonal shift).
