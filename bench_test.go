@@ -15,6 +15,7 @@
 package kifmm
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -280,7 +281,36 @@ func benchSequential(b *testing.B, k Kernel, n int) {
 	b.ReportMetric(s.Total().Seconds()*1e9/float64(n)/1e3, "kcycles/particle@1GHz")
 }
 
-func BenchmarkSequentialLaplace(b *testing.B)    { benchSequential(b, Laplace(), 10000) }
+func BenchmarkSequentialLaplace(b *testing.B) { benchSequential(b, Laplace(), 10000) }
+
+// BenchmarkEvaluateCtxUncancelled is BenchmarkSequentialLaplace through
+// the ctx-first entry point with a live (but never cancelled) context.
+// Comparing it against BenchmarkSequentialLaplace measures the cost of
+// the cancellation checks on the hot path — one atomic load per
+// scheduling chunk, which must stay under 1% of an N=10k Laplace
+// evaluation (the api_redesign acceptance bound).
+func BenchmarkEvaluateCtxUncancelled(b *testing.B) {
+	const n = 10000
+	patches := SpherePatches(1, n, 4, 0.2)
+	pts := FlattenPatches(patches)
+	den := RandomDensities(2, n, 1)
+	ev, err := NewEvaluator(pts, pts, Options{Kernel: Laplace(), Degree: 6, MaxPoints: 60, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := ev.EvaluateCtx(ctx, den); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateCtx(ctx, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkSequentialModLaplace(b *testing.B) { benchSequential(b, ModLaplace(1), 10000) }
 func BenchmarkSequentialStokes(b *testing.B)     { benchSequential(b, Stokes(1), 6000) }
 

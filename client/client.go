@@ -8,6 +8,23 @@
 //		Kernel: client.KernelSpec{Name: "laplace"},
 //	})
 //	pot, _, _ := c.Evaluate(ctx, plan.ID, densities)
+//
+// Every method takes a context.Context, and the context reaches all the
+// way into the server's FMM sweep: cancelling it (or its deadline
+// passing) aborts the server-side evaluation within one pass, not just
+// the local wait.
+//
+// Errors carry the kifmm taxonomy across the wire. A non-2xx response
+// is returned as *APIError whose chain includes the typed kifmm error
+// reconstructed from the server's machine-readable code, and transport
+// cancellations are typed the same way — so
+//
+//	errors.Is(err, kifmm.ErrCanceled)        // and context.Canceled
+//	errors.Is(err, kifmm.ErrPlanNotFound)
+//	errors.Is(err, kifmm.ErrDeadlineExceeded) // and context.DeadlineExceeded
+//
+// hold identically whether the failure happened locally, in transit or
+// on the server.
 package client
 
 import (
@@ -19,6 +36,8 @@ import (
 	"net/http"
 	"net/url"
 
+	kifmm "repro"
+	"repro/internal/errs"
 	"repro/internal/service"
 )
 
@@ -38,15 +57,62 @@ type (
 	HealthResponse = service.HealthResponse
 )
 
-// APIError is a non-2xx server response.
+// APIError is a non-2xx server response: the status, the server's
+// human-readable message and the machine-readable kifmm error code from
+// the wire envelope. Its Unwrap exposes the reconstructed typed error,
+// so errors.Is(err, kifmm.ErrPlanNotFound) and friends work without
+// touching APIError directly.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the machine-readable kifmm error code from the wire
+	// envelope (kifmm.ErrorCode, e.g. kifmm.CodePlanNotFound).
+	Code    kifmm.ErrorCode
+	Message string
+
+	// typed is the reconstructed taxonomy error (nil when the server
+	// sent no recognizable code and the status maps to none).
+	typed *errs.Error
+}
+
+// newAPIError reconstructs the typed error from the wire code, falling
+// back on the HTTP status for old or non-kifmm servers that send no
+// code.
+func newAPIError(status int, code kifmm.ErrorCode, message string) *APIError {
+	if code == "" {
+		switch status {
+		case http.StatusBadRequest:
+			code = errs.CodeInvalidInput
+		case http.StatusNotFound:
+			code = errs.CodePlanNotFound
+		case http.StatusRequestEntityTooLarge:
+			code = errs.CodePlanTooLarge
+		case service.StatusClientClosedRequest:
+			code = errs.CodeCanceled
+		case http.StatusGatewayTimeout:
+			code = errs.CodeDeadlineExceeded
+		case http.StatusInternalServerError:
+			code = errs.CodeInternal
+		}
+	}
+	return &APIError{
+		StatusCode: status,
+		Code:       code,
+		Message:    message,
+		typed:      errs.FromCode(code, message),
+	}
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap exposes the typed kifmm error to errors.Is/As.
+func (e *APIError) Unwrap() error {
+	if e.typed == nil {
+		return nil
+	}
+	return e.typed
 }
 
 // Client talks to one kifmm-serve instance. It is safe for concurrent
@@ -167,7 +233,9 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		// A local cancellation or deadline surfaces as the same typed
+		// error a server-side one would, so callers branch one way.
+		return errs.FromContext(err)
 	}
 	// Drain to EOF before closing so the keep-alive connection returns
 	// to the pool instead of being discarded (json.Decoder stops at the
@@ -179,16 +247,17 @@ func (c *Client) do(req *http.Request, out any) error {
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var envelope struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
-		msg := ""
+		msg, code := "", errs.Code("")
 		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
 			if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-				msg = envelope.Error
+				msg, code = envelope.Error, errs.Code(envelope.Code)
 			} else {
 				msg = string(raw)
 			}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return newAPIError(resp.StatusCode, code, msg)
 	}
 	if out == nil {
 		return nil

@@ -11,6 +11,17 @@
 //	POST /v1/evaluate                  one-shot register + evaluate
 //	GET  /healthz                      liveness
 //	GET  /debug/vars                   expvar metrics ("kifmm" key)
+//
+// Every request runs under its own context (client disconnects cancel
+// the in-flight FMM sweep) plus the optional -eval-timeout deadline;
+// errors carry machine-readable kifmm taxonomy codes mapped onto HTTP
+// 400/404/413/499/504/500.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
+// in-flight requests get -drain-timeout to finish; past the drain
+// deadline their contexts are cancelled, which aborts the running
+// evaluations within one FMM pass so the process exits promptly instead
+// of waiting out a long sweep. A second signal skips the drain.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,29 +46,37 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "bound the summed estimated plan footprint in bytes (0 = count bound only)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent evaluations")
 	evalWorkers := flag.Int("eval-workers", 1, "goroutines one evaluation fans out over (raise for latency, keep 1 for throughput)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-request deadline; requests exceeding it fail with 504 and the evaluation stops (0 = none)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP write timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain; in-flight evaluations past it are cancelled")
 	flag.Parse()
 
 	svc := service.New(service.Config{
 		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
 		Workers: *workers, EvalWorkers: *evalWorkers,
 	})
+	// baseCtx parents every request context; cancelling it is the lever
+	// that aborts all in-flight evaluations when the drain deadline
+	// passes (the ctx plumbing carries it down into the FMM passes).
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      service.NewServer(svc),
+		Handler:      service.NewServer(svc, service.WithEvalTimeout(*evalTimeout)),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
+		BaseContext:  func(net.Listener) context.Context { return baseCtx },
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("kifmm-serve listening on %s (cache %d plans / %d bytes, %d workers x %d eval goroutines)\n",
-			*addr, *cacheSize, *cacheBytes, *workers, *evalWorkers)
+		fmt.Printf("kifmm-serve listening on %s (cache %d plans / %d bytes, %d workers x %d eval goroutines, eval timeout %v)\n",
+			*addr, *cacheSize, *cacheBytes, *workers, *evalWorkers, *evalTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
@@ -65,12 +85,32 @@ func main() {
 			os.Exit(1)
 		}
 	case sig := <-stop:
-		fmt.Printf("received %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		fmt.Printf("received %v, draining for up to %v (signal again to skip)\n", sig, *drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			// A second signal, or the drain deadline, cuts the drain
+			// short; either way the in-flight evaluations are cancelled
+			// below before the hard close.
+			select {
+			case sig := <-stop:
+				fmt.Printf("received %v again, skipping drain\n", sig)
+				cancelDrain()
+			case <-drainCtx.Done():
+			}
+		}()
+		err := srv.Shutdown(drainCtx)
+		cancelDrain()
+		if err != nil {
+			fmt.Println("drain incomplete, cancelling in-flight evaluations")
+			// Cancel every request context: running FMM sweeps abort at
+			// their next pass barrier and the handlers return, letting
+			// a short second drain succeed where the first timed out.
+			cancelBase()
+			finalCtx, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancelFinal()
+			if err := srv.Shutdown(finalCtx); err != nil {
+				_ = srv.Close()
+			}
 		}
 	}
 }

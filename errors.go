@@ -1,0 +1,62 @@
+package kifmm
+
+import "repro/internal/errs"
+
+// The kifmm error taxonomy. Every error returned by the public API —
+// construction, evaluation, solvers, and (via the service's wire codes)
+// the HTTP client — carries a machine-readable ErrorCode reachable with
+// errors.As, and matches exactly one of the sentinels below under
+// errors.Is. Cancellation errors additionally satisfy the standard
+// context sentinels: a cancelled evaluation returns an error for which
+// both errors.Is(err, kifmm.ErrCanceled) and errors.Is(err,
+// context.Canceled) hold, locally and across an HTTP round trip.
+
+// Error is the typed API error: code, human-readable message, optional
+// wrapped cause.
+type Error = errs.Error
+
+// ErrorCode is the stable machine-readable error class; it is what the
+// evaluation service puts on the wire.
+type ErrorCode = errs.Code
+
+// The error codes. See the matching Err* sentinels for semantics; the
+// evaluation service maps them onto HTTP statuses (400, 404, 413, 499,
+// 504, 500 in order below).
+const (
+	CodeInvalidInput     = errs.CodeInvalidInput
+	CodeUnknownKernel    = errs.CodeUnknownKernel
+	CodePlanTooLarge     = errs.CodePlanTooLarge
+	CodePlanNotFound     = errs.CodePlanNotFound
+	CodeCanceled         = errs.CodeCanceled
+	CodeDeadlineExceeded = errs.CodeDeadlineExceeded
+	CodeInternal         = errs.CodeInternal
+)
+
+// Sentinels for errors.Is.
+var (
+	// ErrInvalidInput: malformed arguments (bad slice lengths, NaN
+	// coordinates, out-of-domain kernel parameters, nil kernel).
+	ErrInvalidInput = errs.ErrInvalidInput
+	// ErrUnknownKernel: a kernel name no built-in kernel answers to
+	// (KernelByName, KernelFromSpec).
+	ErrUnknownKernel = errs.ErrUnknownKernel
+	// ErrPlanTooLarge: a request exceeded a configured size bound
+	// (service body/option/batch caps).
+	ErrPlanTooLarge = errs.ErrPlanTooLarge
+	// ErrPlanNotFound: an evaluation against an unknown or evicted
+	// service plan id.
+	ErrPlanNotFound = errs.ErrPlanNotFound
+	// ErrCanceled: the context passed to a *Ctx entry point was
+	// cancelled mid-flight; also satisfies context.Canceled.
+	ErrCanceled = errs.ErrCanceled
+	// ErrDeadlineExceeded: a context or per-request deadline passed
+	// before the work finished; also satisfies context.DeadlineExceeded.
+	ErrDeadlineExceeded = errs.ErrDeadlineExceeded
+	// ErrInternal: a defect on the implementation's side (e.g. a
+	// recovered panic in the evaluation service), not a caller mistake.
+	ErrInternal = errs.ErrInternal
+)
+
+// ErrorCodeOf extracts the taxonomy code from an error chain; ok is
+// false when err carries no typed error.
+func ErrorCodeOf(err error) (code ErrorCode, ok bool) { return errs.CodeOf(err) }

@@ -11,14 +11,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	kifmm "repro"
 )
 
 func main() {
+	// ctx-first end to end: Ctrl-C mid-solve aborts the in-flight FMM
+	// evaluation within one pass and GMRES returns a typed
+	// kifmm.ErrCanceled instead of finishing its iterations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const (
 		n = 6000 // collocation points on the sphere
 		a = 1.0  // sphere radius
@@ -29,28 +38,32 @@ func main() {
 	// of 1/(4πr) over a flat disc of the patch area equals ρ/2.
 	selfTerm := math.Sqrt(w/math.Pi) / 2
 
-	ev, err := kifmm.NewEvaluator(pts, pts, kifmm.Options{
+	ev, err := kifmm.NewEvaluatorCtx(ctx, pts, pts, kifmm.Options{
 		Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// The ctx-aware operator returns errors instead of aborting the
+	// process: an FMM failure (or a cancellation) flows out of
+	// SolveGMRESCtx as a typed error.
 	matvecs := 0
-	apply := func(dst, x []float64) {
+	apply := func(ctx context.Context, dst, x []float64) error {
 		// (S σ)(x_i) = Σ_j G(x_i, x_j) σ_j w_j + self correction.
 		den := make([]float64, n)
 		for i := range den {
 			den[i] = x[i] * w
 		}
-		pot, err := ev.Evaluate(den)
+		pot, err := ev.EvaluateCtx(ctx, den)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for i := range dst {
 			dst[i] = pot[i] + selfTerm*x[i]
 		}
 		matvecs++
+		return nil
 	}
 
 	// Dirichlet data: unit potential on the conductor.
@@ -59,7 +72,7 @@ func main() {
 		b[i] = 1
 	}
 	sigma := make([]float64, n)
-	res, err := kifmm.SolveGMRES(apply, b, sigma, kifmm.SolverOptions{Tol: 1e-8})
+	res, err := kifmm.SolveGMRESCtx(ctx, apply, b, sigma, kifmm.SolverOptions{Tol: 1e-8})
 	if err != nil {
 		log.Fatal(err)
 	}

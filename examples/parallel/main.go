@@ -8,8 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -17,6 +20,12 @@ import (
 )
 
 func main() {
+	// ctx-first: Ctrl-C aborts the in-flight shared-memory evaluation
+	// within one pass (the simulated-MPI part is driven by the rank
+	// scheduler and finishes its current run).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const n = 16000
 	patches := kifmm.SpherePatches(3, n, 8, 0.1)
 	den := kifmm.RandomDensities(4, n, 1)
@@ -55,17 +64,17 @@ func main() {
 	fmt.Printf("%8s %12s %10s %8s\n", "workers", "T(wall)", "speedup", "eff")
 	var w1 time.Duration
 	for _, w := range []int{1, 2, 4, 8} {
-		ev, err := kifmm.NewEvaluator(pts, pts, kifmm.Options{
+		ev, err := kifmm.NewEvaluatorCtx(ctx, pts, pts, kifmm.Options{
 			Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60, Workers: w,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := ev.Evaluate(den); err != nil { // warm the operator caches
+		if _, err := ev.EvaluateCtx(ctx, den); err != nil { // warm the operator caches
 			log.Fatal(err)
 		}
 		start := time.Now()
-		if _, err := ev.Evaluate(den); err != nil {
+		if _, err := ev.EvaluateCtx(ctx, den); err != nil {
 			log.Fatal(err)
 		}
 		wall := time.Since(start)

@@ -3,14 +3,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	kifmm "repro"
 )
 
 func main() {
+	// The API is context-first: every expensive call takes a ctx, and
+	// Ctrl-C cancels the in-flight FMM work within one pass instead of
+	// letting it run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const n = 10000
 	// The paper's benchmark geometry: particles sampled from spheres on a
 	// regular grid inside [-1,1]^3.
@@ -19,7 +28,7 @@ func main() {
 	densities := kifmm.RandomDensities(7, n, 1)
 
 	// Build the evaluator once (octree + translation operators)...
-	ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{
+	ev, err := kifmm.NewEvaluatorCtx(ctx, points, points, kifmm.Options{
 		Kernel: kifmm.Laplace(), // 1/(4πr)
 	})
 	if err != nil {
@@ -27,8 +36,10 @@ func main() {
 	}
 	fmt.Printf("octree: %d boxes, depth %d\n", ev.Boxes(), ev.Depth())
 
-	// ...then evaluate as many density vectors as needed.
-	pot, err := ev.Evaluate(densities)
+	// ...then evaluate as many density vectors as needed. A cancelled
+	// ctx would surface here as a typed error: errors.Is(err,
+	// kifmm.ErrCanceled) — and errors.Is(err, context.Canceled) — hold.
+	pot, err := ev.EvaluateCtx(ctx, densities)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,15 +8,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	kifmm "repro"
 )
 
 func main() {
+	// ctx-first: Ctrl-C aborts the current FMM sweep within one pass
+	// (the remaining lambdas are skipped) instead of running the whole
+	// parameter sweep to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const n = 8000
 	// A slab of charges: two clustered layers, like ions near a membrane.
 	rng := rand.New(rand.NewSource(11))
@@ -45,13 +54,13 @@ func main() {
 	fmt.Println("lambda   interaction energy      FMM time     rel.err (200 samples)")
 	for _, lambda := range []float64{0.1, 1, 4, 16} {
 		k := kifmm.ModLaplace(lambda)
-		ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{
+		ev, err := kifmm.NewEvaluatorCtx(ctx, points, points, kifmm.Options{
 			Kernel: k, Degree: 6, MaxPoints: 50,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pot, err := ev.Evaluate(charges)
+		pot, err := ev.EvaluateCtx(ctx, charges)
 		if err != nil {
 			log.Fatal(err)
 		}

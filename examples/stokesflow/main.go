@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	kifmm "repro"
 )
@@ -32,6 +35,12 @@ const (
 )
 
 func main() {
+	// ctx-first: a Ctrl-C mid-simulation aborts the in-flight GMRES
+	// solve (and its FMM evaluation) within one pass; the typed error
+	// satisfies errors.Is(err, kifmm.ErrCanceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	center := [3]float64{0, 0, 0.55}
 	prop := propellerPoints(nProp)
 	k := kifmm.Stokes(mu)
@@ -44,7 +53,7 @@ func main() {
 		all := append(append([]float64{}, sph...), propNow...)
 		n := len(all) / 3
 
-		ev, err := kifmm.NewEvaluator(all, all, kifmm.Options{
+		ev, err := kifmm.NewEvaluatorCtx(ctx, all, all, kifmm.Options{
 			Kernel: k, Degree: 6, MaxPoints: 60,
 		})
 		if err != nil {
@@ -55,15 +64,16 @@ func main() {
 		// points by the Stokeslet densities, regularized by a local
 		// self-patch term so the discrete system is well conditioned.
 		selfTerm := math.Sqrt(4*math.Pi*sphereR*sphereR/float64(nSphere)) / (8 * math.Pi * mu)
-		apply := func(dst, x []float64) {
-			pot, err := ev.Evaluate(x)
+		apply := func(ctx context.Context, dst, x []float64) error {
+			pot, err := ev.EvaluateCtx(ctx, x)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			for i := range dst {
 				dst[i] = pot[i] + selfTerm*x[i]
 			}
 			evals++
+			return nil
 		}
 
 		// Right-hand side A: sphere fixed (v=0), propeller rotating.
@@ -74,7 +84,7 @@ func main() {
 			rhs0[3*i+1] = propOmega * x
 		}
 		den0 := make([]float64, 3*n)
-		if _, err := kifmm.SolveGMRES(apply, rhs0, den0, kifmm.SolverOptions{Tol: 1e-6, MaxIters: 120}); err != nil {
+		if _, err := kifmm.SolveGMRESCtx(ctx, apply, rhs0, den0, kifmm.SolverOptions{Tol: 1e-6, MaxIters: 120}); err != nil {
 			log.Fatal(err)
 		}
 		// Right-hand side B: unit sphere velocity e_z, propeller at rest.
@@ -83,7 +93,7 @@ func main() {
 			rhs1[3*i+2] = 1
 		}
 		den1 := make([]float64, 3*n)
-		if _, err := kifmm.SolveGMRES(apply, rhs1, den1, kifmm.SolverOptions{Tol: 1e-6, MaxIters: 120}); err != nil {
+		if _, err := kifmm.SolveGMRESCtx(ctx, apply, rhs1, den1, kifmm.SolverOptions{Tol: 1e-6, MaxIters: 120}); err != nil {
 			log.Fatal(err)
 		}
 		// Force balance on the sphere: f0 + U*f1 = gravity.

@@ -1,0 +1,192 @@
+// Package errs is the typed error taxonomy of the kifmm API. Every
+// error that crosses the public API surface (the root kifmm package,
+// the evaluation service and its Go client) carries a machine-readable
+// Code, so callers branch on errors.Is/As instead of string-matching,
+// and the same taxonomy survives an HTTP round trip: the service puts
+// the code on the wire, the client reconstructs the identical typed
+// error.
+//
+// Cancellation errors additionally satisfy the standard context
+// sentinels: errors.Is(err, ErrCanceled) and errors.Is(err,
+// context.Canceled) are both true for a cancelled evaluation, on the
+// server and — via the wire code — on a client that never saw the
+// context that was cancelled.
+//
+// The package lives under internal/ so the engine layers (exec, fmm,
+// krylov, service) can produce typed errors without importing the root
+// package (which imports them); the root package re-exports the
+// taxonomy as kifmm.Error, kifmm.ErrCanceled, etc.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Code is a stable machine-readable error class. Codes are the wire
+// form of the taxonomy (the service's error envelope carries them) and
+// must never be renamed once released.
+type Code string
+
+const (
+	// CodeInvalidInput: the request or argument is malformed (bad
+	// lengths, NaN coordinates, out-of-domain parameters). HTTP 400.
+	CodeInvalidInput Code = "invalid_input"
+	// CodeUnknownKernel: a kernel name that no built-in kernel answers
+	// to. HTTP 400.
+	CodeUnknownKernel Code = "unknown_kernel"
+	// CodePlanTooLarge: the request exceeds a configured size bound
+	// (body bytes, option caps, batch width). HTTP 413.
+	CodePlanTooLarge Code = "plan_too_large"
+	// CodePlanNotFound: an evaluation against an unknown or evicted
+	// plan id. HTTP 404.
+	CodePlanNotFound Code = "plan_not_found"
+	// CodeCanceled: the caller's context was cancelled mid-flight.
+	// HTTP 499 (client closed request).
+	CodeCanceled Code = "canceled"
+	// CodeDeadlineExceeded: a context or per-request deadline passed
+	// before the work finished. HTTP 504.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeInternal: a server-side defect (e.g. a recovered panic) —
+	// not a client mistake. HTTP 500.
+	CodeInternal Code = "internal"
+)
+
+// Error is a typed API error: a code, a human-readable message and an
+// optional wrapped cause. errors.Is between two *Error values compares
+// codes, so any taxonomy error matches its sentinel regardless of
+// message or origin (local call, HTTP reconstruction).
+type Error struct {
+	Code    Code
+	Message string
+	// Err is the wrapped cause, reachable through errors.Is/As. For
+	// cancellation and deadline errors it is (or wraps) the matching
+	// context sentinel.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	return "kifmm: " + string(e.Code)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches any *Error with the same code, which is what makes the
+// exported sentinels work as errors.Is targets.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Sentinels, one per code. Use them as errors.Is targets; construct
+// rich errors with New/Newf/Wrap. The cancellation sentinels carry the
+// matching context sentinel as their cause, so errors.Is(ErrCanceled,
+// context.Canceled) holds by construction.
+var (
+	ErrInvalidInput     = &Error{Code: CodeInvalidInput, Message: "kifmm: invalid input"}
+	ErrUnknownKernel    = &Error{Code: CodeUnknownKernel, Message: "kifmm: unknown kernel"}
+	ErrPlanTooLarge     = &Error{Code: CodePlanTooLarge, Message: "kifmm: plan too large"}
+	ErrPlanNotFound     = &Error{Code: CodePlanNotFound, Message: "kifmm: plan not found"}
+	ErrCanceled         = &Error{Code: CodeCanceled, Message: "kifmm: canceled", Err: context.Canceled}
+	ErrDeadlineExceeded = &Error{Code: CodeDeadlineExceeded, Message: "kifmm: deadline exceeded", Err: context.DeadlineExceeded}
+	ErrInternal         = &Error{Code: CodeInternal, Message: "kifmm: internal error"}
+)
+
+// New returns a typed error with a fixed message.
+func New(code Code, message string) *Error {
+	return &Error{Code: code, Message: message, Err: contextCause(code)}
+}
+
+// Newf returns a typed error with a formatted message. A %w verb's
+// operand stays reachable through errors.Is/As.
+func Newf(code Code, format string, args ...any) *Error {
+	err := fmt.Errorf(format, args...)
+	return &Error{Code: code, Message: err.Error(), Err: firstCause(code, errors.Unwrap(err))}
+}
+
+// Wrap attaches a code to an existing error, keeping it as the cause.
+func Wrap(code Code, err error) *Error {
+	return &Error{Code: code, Message: err.Error(), Err: err}
+}
+
+// FromContext translates a context error (ctx.Err() or anything
+// wrapping one) into the taxonomy; other errors — including nil — pass
+// through unchanged.
+func FromContext(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: "kifmm: deadline exceeded", Err: err}
+	case errors.Is(err, context.Canceled):
+		return &Error{Code: CodeCanceled, Message: "kifmm: canceled", Err: err}
+	}
+	return err
+}
+
+// FromCode reconstructs the typed error for a wire code — the client
+// side of the HTTP round trip. Unknown codes return nil so the caller
+// can fall back on the HTTP status.
+func FromCode(code Code, message string) *Error {
+	switch code {
+	case CodeInvalidInput, CodeUnknownKernel, CodePlanTooLarge,
+		CodePlanNotFound, CodeCanceled, CodeDeadlineExceeded, CodeInternal:
+		return &Error{Code: code, Message: message, Err: contextCause(code)}
+	}
+	return nil
+}
+
+// CodeOf extracts the taxonomy code from an error chain; ok is false
+// when the chain carries no typed error.
+func CodeOf(err error) (Code, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code, true
+	}
+	return "", false
+}
+
+// Typed returns err when its chain already carries a taxonomy code, and
+// otherwise wraps it with fallback — the boundary helper layers use to
+// type ad-hoc errors without clobbering codes set deeper down.
+func Typed(err error, fallback Code) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := CodeOf(err); ok {
+		return err
+	}
+	return Wrap(fallback, err)
+}
+
+// contextCause returns the context sentinel a code implies, so that
+// reconstructed cancellation errors still satisfy errors.Is(err,
+// context.Canceled) even though the cancelled context never crossed
+// the wire.
+func contextCause(code Code) error {
+	switch code {
+	case CodeCanceled:
+		return context.Canceled
+	case CodeDeadlineExceeded:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// firstCause keeps an explicit %w cause when present, falling back on
+// the code-implied context sentinel.
+func firstCause(code Code, wrapped error) error {
+	if wrapped != nil {
+		return wrapped
+	}
+	return contextCause(code)
+}

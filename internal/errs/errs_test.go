@@ -1,0 +1,130 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		err  *Error
+		code Code
+	}{
+		{ErrInvalidInput, CodeInvalidInput},
+		{ErrUnknownKernel, CodeUnknownKernel},
+		{ErrPlanTooLarge, CodePlanTooLarge},
+		{ErrPlanNotFound, CodePlanNotFound},
+		{ErrCanceled, CodeCanceled},
+		{ErrDeadlineExceeded, CodeDeadlineExceeded},
+		{ErrInternal, CodeInternal},
+	} {
+		if tc.err.Code != tc.code {
+			t.Errorf("sentinel %v has code %q, want %q", tc.err, tc.err.Code, tc.code)
+		}
+		if !errors.Is(tc.err, tc.err) {
+			t.Errorf("errors.Is(%v, itself) = false", tc.err)
+		}
+		rich := Newf(tc.code, "something specific: %d", 42)
+		if !errors.Is(rich, tc.err) {
+			t.Errorf("errors.Is(Newf(%q, ...), sentinel) = false", tc.code)
+		}
+		wrapped := fmt.Errorf("outer layer: %w", rich)
+		if !errors.Is(wrapped, tc.err) {
+			t.Errorf("errors.Is(wrapped, sentinel %q) = false", tc.code)
+		}
+		if got, ok := CodeOf(wrapped); !ok || got != tc.code {
+			t.Errorf("CodeOf(wrapped) = %q, %v; want %q, true", got, ok, tc.code)
+		}
+	}
+}
+
+func TestCodesAreDistinct(t *testing.T) {
+	if errors.Is(ErrInvalidInput, ErrPlanNotFound) {
+		t.Error("distinct codes must not match")
+	}
+	if errors.Is(ErrCanceled, ErrDeadlineExceeded) {
+		t.Error("canceled must not match deadline_exceeded")
+	}
+}
+
+func TestContextInterop(t *testing.T) {
+	if !errors.Is(ErrCanceled, context.Canceled) {
+		t.Error("ErrCanceled must satisfy context.Canceled")
+	}
+	if !errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) {
+		t.Error("ErrDeadlineExceeded must satisfy context.DeadlineExceeded")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx.Err())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("FromContext(canceled) = %v, want both ErrCanceled and context.Canceled", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("FromContext(canceled) must not match ErrDeadlineExceeded")
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 0)
+	defer dcancel()
+	<-dctx.Done()
+	derr := FromContext(dctx.Err())
+	if !errors.Is(derr, ErrDeadlineExceeded) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("FromContext(deadline) = %v, want both ErrDeadlineExceeded and context.DeadlineExceeded", derr)
+	}
+
+	plain := errors.New("not a context error")
+	if got := FromContext(plain); got != plain {
+		t.Errorf("FromContext(plain) = %v, want pass-through", got)
+	}
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) must be nil")
+	}
+}
+
+func TestFromCodeRoundTrip(t *testing.T) {
+	e := FromCode(CodeCanceled, "server says: canceled mid-sweep")
+	if e == nil {
+		t.Fatal("FromCode(canceled) = nil")
+	}
+	if !errors.Is(e, ErrCanceled) {
+		t.Error("reconstructed error must match ErrCanceled")
+	}
+	if !errors.Is(e, context.Canceled) {
+		t.Error("reconstructed cancel must satisfy context.Canceled without the original context")
+	}
+	if e.Error() != "server says: canceled mid-sweep" {
+		t.Errorf("message not preserved: %q", e.Error())
+	}
+	if FromCode("no_such_code", "x") != nil {
+		t.Error("unknown code must return nil for status fallback")
+	}
+}
+
+func TestTyped(t *testing.T) {
+	plain := errors.New("plain")
+	typed := Typed(plain, CodeInvalidInput)
+	if !errors.Is(typed, ErrInvalidInput) {
+		t.Errorf("Typed(plain) = %v, want invalid_input", typed)
+	}
+	already := Newf(CodeUnknownKernel, "kernels: unknown kernel %q", "warp")
+	if got := Typed(already, CodeInvalidInput); !errors.Is(got, ErrUnknownKernel) || errors.Is(got, ErrInvalidInput) {
+		t.Errorf("Typed must not clobber an existing code: %v", got)
+	}
+	if Typed(nil, CodeInternal) != nil {
+		t.Error("Typed(nil) must be nil")
+	}
+}
+
+func TestNewfPreservesWrappedCause(t *testing.T) {
+	cause := errors.New("root cause")
+	err := Newf(CodeInternal, "evaluation failed: %w", cause)
+	if !errors.Is(err, cause) {
+		t.Error("wrapped cause must stay reachable")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Error("code must match")
+	}
+}

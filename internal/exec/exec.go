@@ -8,9 +8,16 @@
 // Each invocation hands the callback a stable worker id in [0, Workers())
 // so callers can keep per-worker scratch buffers and statistics without
 // locks, merging them after the barrier.
+//
+// ForRange is context-aware: it checks ctx at dispatch and each worker
+// checks it between chunk claims, so a cancellation lands within one
+// chunk of work plus the barrier — which is what lets a cancelled FMM
+// evaluation return within a single pass instead of running the sweep
+// to completion.
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,7 +46,9 @@ func (p *Pool) Workers() int { return p.workers }
 // grainFor picks the dynamic-scheduling chunk size: small enough that an
 // uneven work distribution (adaptive trees concentrate points in few
 // boxes) keeps every worker busy, large enough that the atomic fetch-add
-// is off the critical path.
+// is off the critical path. Cancellation checks ride the same cadence —
+// one ctx.Err() load per chunk — so an uncancelled run pays a handful of
+// atomic loads per pass, not one per index.
 func grainFor(n, workers int) int {
 	g := n / (workers * 8)
 	if g < 1 {
@@ -50,35 +59,53 @@ func grainFor(n, workers int) int {
 
 // ForRange invokes fn(worker, i) for every i in [lo, hi), distributing
 // indices over the pool dynamically (atomic chunk claiming, so uneven
-// per-index costs still balance). It returns after every invocation has
-// completed — a barrier, which is what gives the FMM its level
-// synchronization. With one worker (or a single-index range) it runs
-// inline, byte-for-byte matching a plain loop.
+// per-index costs still balance). It returns after every started
+// invocation has completed — a barrier, which is what gives the FMM its
+// level synchronization. With one worker (or a single-index range) it
+// runs inline, byte-for-byte matching a plain loop.
+//
+// ctx is checked at dispatch and between chunk claims. On cancellation
+// the sweep stops claiming new chunks, the barrier drains, and ForRange
+// returns ctx.Err(); the range is then only partially processed, so
+// callers must treat their output buffers as garbage.
 //
 // A panic in fn is re-raised on the calling goroutine after the barrier,
 // so callers' recover-based safety nets (e.g. the evaluation service)
 // keep working under parallel execution.
-func (p *Pool) ForRange(lo, hi int, fn func(worker, i int)) {
+func (p *Pool) ForRange(ctx context.Context, lo, hi int, fn func(worker, i int)) error {
 	n := hi - lo
 	if n <= 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
+	grain := grainFor(n, w)
 	if w <= 1 {
-		for i := lo; i < hi; i++ {
-			fn(0, i)
+		for clo := 0; clo < n; clo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			chi := clo + grain
+			if chi > n {
+				chi = n
+			}
+			for i := lo + clo; i < lo+chi; i++ {
+				fn(0, i)
+			}
 		}
-		return
+		return nil
 	}
-	grain := int64(grainFor(n, w))
 	var next atomic.Int64
 	var panicOnce sync.Once
 	var panicked any
 	var wg sync.WaitGroup
 	wg.Add(w)
+	done := ctx.Done()
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
@@ -88,11 +115,16 @@ func (p *Pool) ForRange(lo, hi int, fn func(worker, i int)) {
 				}
 			}()
 			for {
-				clo := next.Add(grain) - grain
+				select {
+				case <-done:
+					return
+				default:
+				}
+				clo := next.Add(int64(grain)) - int64(grain)
 				if clo >= int64(n) {
 					return
 				}
-				chi := clo + grain
+				chi := clo + int64(grain)
 				if chi > int64(n) {
 					chi = int64(n)
 				}
@@ -106,4 +138,5 @@ func (p *Pool) ForRange(lo, hi int, fn func(worker, i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	return ctx.Err()
 }

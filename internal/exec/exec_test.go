@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
@@ -20,18 +23,21 @@ func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
 // TestForRangeCoversEveryIndex: each index in [lo, hi) runs exactly once,
 // for pool widths below, at and above the range size.
 func TestForRangeCoversEveryIndex(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{1, 2, 4, 32} {
 		p := New(workers)
 		for _, span := range [][2]int{{0, 0}, {3, 3}, {0, 1}, {2, 7}, {0, 1000}} {
 			lo, hi := span[0], span[1]
 			counts := make([]atomic.Int32, hi+1)
-			p.ForRange(lo, hi, func(_, i int) {
+			if err := p.ForRange(ctx, lo, hi, func(_, i int) {
 				if i < lo || i >= hi {
 					t.Errorf("index %d outside [%d, %d)", i, lo, hi)
 					return
 				}
 				counts[i].Add(1)
-			})
+			}); err != nil {
+				t.Fatalf("ForRange: %v", err)
+			}
 			for i := lo; i < hi; i++ {
 				if c := counts[i].Load(); c != 1 {
 					t.Fatalf("workers=%d range=[%d,%d): index %d ran %d times", workers, lo, hi, i, c)
@@ -46,7 +52,7 @@ func TestForRangeCoversEveryIndex(t *testing.T) {
 func TestForRangeWorkerIDs(t *testing.T) {
 	p := New(4)
 	var bad atomic.Int32
-	p.ForRange(0, 500, func(w, _ int) {
+	_ = p.ForRange(context.Background(), 0, 500, func(w, _ int) {
 		if w < 0 || w >= p.Workers() {
 			bad.Add(1)
 		}
@@ -63,7 +69,9 @@ func TestForRangeBarrier(t *testing.T) {
 	p := New(8)
 	sums := make([]int64, p.Workers())
 	const n = 4096
-	p.ForRange(0, n, func(w, i int) { sums[w] += int64(i) })
+	if err := p.ForRange(context.Background(), 0, n, func(w, i int) { sums[w] += int64(i) }); err != nil {
+		t.Fatalf("ForRange: %v", err)
+	}
 	var total int64
 	for _, s := range sums {
 		total += s
@@ -82,10 +90,90 @@ func TestForRangePanicPropagates(t *testing.T) {
 			t.Errorf("recovered %v, want \"boom\"", r)
 		}
 	}()
-	p.ForRange(0, 100, func(_, i int) {
+	_ = p.ForRange(context.Background(), 0, 100, func(_, i int) {
 		if i == 37 {
 			panic("boom")
 		}
 	})
 	t.Error("ForRange returned instead of panicking")
+}
+
+// spin burns a short, scheduler-visible amount of CPU so a cancelled
+// sweep demonstrably stops early without relying on timer granularity.
+func spin() {
+	for i := 0; i < 50; i++ {
+		runtime.Gosched()
+	}
+}
+
+// TestForRangePreCancelled: a context cancelled before dispatch means no
+// invocation runs at all.
+func TestForRangePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := New(workers).ForRange(ctx, 0, 1000, func(_, _ int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d invocations ran after pre-cancel", workers, ran.Load())
+		}
+	}
+}
+
+// TestForRangeCancelMidSweep: cancelling while a sweep is running stops
+// further chunk claims — the sweep returns early with ctx.Err() and
+// without processing the whole range, on both the sequential and the
+// parallel path.
+func TestForRangeCancelMidSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := New(workers)
+		const n = 3200
+		var ran atomic.Int64
+		err := p.ForRange(ctx, 0, n, func(_, i int) {
+			if ran.Add(1) == 64 {
+				cancel()
+			}
+			spin()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got == n {
+			t.Errorf("workers=%d: sweep ran all %d indices despite cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+// TestForRangeCancelLeavesNoWorkers: after a cancelled parallel sweep
+// returns, its worker goroutines are gone (the barrier drained them).
+func TestForRangeCancelLeavesNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := New(8)
+		var ran atomic.Int64
+		_ = p.ForRange(ctx, 0, 1<<14, func(_, _ int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			spin()
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled sweeps", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

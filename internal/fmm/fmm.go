@@ -18,14 +18,23 @@
 // The engine records per-stage compute time and flop counts matching the
 // stages the paper charts in Figures 4.2/4.3 (Up, DownU, DownV, DownW,
 // DownX, Eval).
+//
+// Construction and evaluation are context-first (NewCtx, EvaluateCtx and
+// friends): the context is threaded through every pass, checked at each
+// dispatch and level barrier and between chunk claims inside a pass, so
+// a cancellation or deadline aborts the sweep within one pass and
+// surfaces as a typed error (errs.ErrCanceled / errs.ErrDeadlineExceeded,
+// both also satisfying the standard context sentinels). The ctx-free
+// entry points are thin context.Background() wrappers.
 package fmm
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/errs"
 	"repro/internal/exec"
 	"repro/internal/kernels"
 	"repro/internal/linalg"
@@ -123,6 +132,8 @@ type Evaluator struct {
 	// evaluation (concurrent callers race benignly: last writer wins).
 	statsMu sync.Mutex
 	stats   Stats
+
+	closeOnce sync.Once
 }
 
 // ApplyDefaults fills zero-valued options with the paper-matching
@@ -163,15 +174,28 @@ func ApplyDefaults(opt Options) Options {
 
 // New builds the octree over src and trg (flat x,y,z slices, which may be
 // the same set, as in the paper's experiments) and prepares the
-// translation operators.
+// translation operators. It is NewCtx with context.Background().
 func New(src, trg []float64, opt Options) (*Evaluator, error) {
+	return NewCtx(context.Background(), src, trg, opt)
+}
+
+// NewCtx is the context-aware plan build: ctx is checked before and
+// after the expensive stages (octree construction, operator setup), so
+// an impatient caller abandons the build at the next stage boundary.
+func NewCtx(ctx context.Context, src, trg []float64, opt Options) (*Evaluator, error) {
 	if opt.Kernel == nil {
-		return nil, fmt.Errorf("fmm: Options.Kernel is required")
+		return nil, errs.New(errs.CodeInvalidInput, "fmm: Options.Kernel is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errs.FromContext(err)
 	}
 	opt = ApplyDefaults(opt)
 	tr, err := tree.Build(src, trg, tree.Config{MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth})
 	if err != nil {
-		return nil, err
+		return nil, errs.Typed(err, errs.CodeInvalidInput)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errs.FromContext(err)
 	}
 	return FromTree(tr, opt)
 }
@@ -182,7 +206,7 @@ func FromTree(tr *tree.Tree, opt Options) (*Evaluator, error) {
 	opt = ApplyDefaults(opt)
 	ops, err := translate.NewSet(opt.Kernel, opt.Degree, tr.HalfWidth, opt.PinvTol)
 	if err != nil {
-		return nil, err
+		return nil, errs.Typed(err, errs.CodeInvalidInput)
 	}
 	e := &Evaluator{Tree: tr, Ops: ops, opt: opt, pool: exec.New(opt.Workers)}
 	if opt.Backend == M2LFFT {
@@ -203,12 +227,15 @@ func (e *Evaluator) Stats() Stats {
 }
 
 // FootprintBytes estimates the resident memory of this prepared plan:
-// the octree (points, permutations, boxes, interaction lists) plus the
-// translation operators and FFT kernel tensors currently cached for its
-// kernel/degree/geometry. Operator caches are shared process-wide, so
-// plans over the same kernel and geometry scale both attribute the same
-// operators — a deliberate overestimate that keeps byte-bounded plan
-// caches conservative.
+// the octree (points, permutations, boxes, interaction lists) plus this
+// plan's share of the translation operators and FFT kernel tensors
+// currently cached for its kernel/degree/geometry. Operator caches are
+// shared process-wide and refcounted: N live plans sharing an operator
+// set each attribute 1/N of its bytes, so a byte-bounded plan cache
+// summing FootprintBytes across plans counts every shared byte exactly
+// once (the pre-refcount behavior attributed them once per plan). The
+// estimate is live — it grows as lazily built operators appear and
+// redistributes when sharing plans are closed.
 func (e *Evaluator) FootprintBytes() int64 {
 	b := e.Tree.MemoryBytes()
 	b += e.Ops.CachedBytes()
@@ -218,11 +245,34 @@ func (e *Evaluator) FootprintBytes() int64 {
 	return b
 }
 
+// Close releases this plan's refcounted claim on the process-global
+// operator and FFT tensor caches. Accounting only: the caches keep
+// their entries and a closed evaluator remains fully usable (an evicted
+// service plan finishes its in-flight evaluations) — the shared bytes
+// are simply attributed to the plans still open. Idempotent.
+func (e *Evaluator) Close() {
+	e.closeOnce.Do(func() {
+		e.Ops.Close()
+		if e.fft != nil {
+			e.fft.Close()
+		}
+	})
+}
+
 // Evaluate computes pot[i] = Σ_j G(trg_i, src_j) den_j for all targets.
 // den holds SourceDim components per source in the original input order;
 // the result has TargetDim components per target in input order.
 func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
-	pot, _, err := e.EvaluateStats(den)
+	pot, _, err := e.EvaluateStatsCtx(context.Background(), den)
+	return pot, err
+}
+
+// EvaluateCtx is Evaluate under a context: a cancellation or deadline
+// aborts the sweep within one pass and returns a typed error satisfying
+// both errs.ErrCanceled (or ErrDeadlineExceeded) and the matching
+// context sentinel.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, den []float64) ([]float64, error) {
+	pot, _, err := e.EvaluateStatsCtx(ctx, den)
 	return pot, err
 }
 
@@ -230,7 +280,12 @@ func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
 // directly, so concurrent callers get their own stats instead of racing
 // on Stats().
 func (e *Evaluator) EvaluateStats(den []float64) ([]float64, Stats, error) {
-	pots, st, err := e.evaluate([][]float64{den})
+	return e.EvaluateStatsCtx(context.Background(), den)
+}
+
+// EvaluateStatsCtx is EvaluateCtx returning this call's stage breakdown.
+func (e *Evaluator) EvaluateStatsCtx(ctx context.Context, den []float64) ([]float64, Stats, error) {
+	pots, st, err := e.evaluate(ctx, [][]float64{den})
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -244,14 +299,26 @@ func (e *Evaluator) EvaluateStats(den []float64) ([]float64, Stats, error) {
 // apply it to every right-hand side). Results match per-vector Evaluate
 // calls to accumulation-order rounding.
 func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
-	pots, _, err := e.evaluate(dens)
+	pots, _, err := e.evaluate(context.Background(), dens)
+	return pots, err
+}
+
+// EvaluateBatchCtx is EvaluateBatch under a context; see EvaluateCtx.
+func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, dens [][]float64) ([][]float64, error) {
+	pots, _, err := e.evaluate(ctx, dens)
 	return pots, err
 }
 
 // EvaluateBatchStats is EvaluateBatch returning the aggregate stage
 // breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, Stats, error) {
-	return e.evaluate(dens)
+	return e.evaluate(context.Background(), dens)
+}
+
+// EvaluateBatchStatsCtx is EvaluateBatchCtx returning the aggregate
+// stage breakdown of the whole batch.
+func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64) ([][]float64, Stats, error) {
+	return e.evaluate(ctx, dens)
 }
 
 // runState carries one evaluation's transient state: the engine reads
@@ -311,22 +378,26 @@ func (sc *scratch) accBuf(f *translate.FFTM2L) [][]complex128 {
 	return sc.acc
 }
 
-// evaluate is the engine shared by all Evaluate variants.
-func (e *Evaluator) evaluate(dens [][]float64) ([][]float64, Stats, error) {
+// evaluate is the engine shared by all Evaluate variants. ctx flows into
+// every pool dispatch; on cancellation the current pass drains at its
+// barrier, the partially written run state is discarded, and the typed
+// cancellation error is returned (the most recent *completed*
+// evaluation's stats are left untouched).
+func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64, Stats, error) {
 	k := e.opt.Kernel
 	sd, td := k.SourceDim(), k.TargetDim()
 	t := e.Tree
 	nSrc := len(t.SrcPoints) / 3
 	nTrg := len(t.TrgPoints) / 3
 	if len(dens) == 0 {
-		return nil, Stats{}, fmt.Errorf("fmm: evaluation needs at least one density vector")
+		return nil, Stats{}, errs.New(errs.CodeInvalidInput, "fmm: evaluation needs at least one density vector")
 	}
 	for q, den := range dens {
 		if len(den) != nSrc*sd {
 			if len(dens) == 1 {
-				return nil, Stats{}, fmt.Errorf("fmm: density length %d, want %d", len(den), nSrc*sd)
+				return nil, Stats{}, errs.Newf(errs.CodeInvalidInput, "fmm: density length %d, want %d", len(den), nSrc*sd)
 			}
-			return nil, Stats{}, fmt.Errorf("fmm: density %d length %d, want %d", q, len(den), nSrc*sd)
+			return nil, Stats{}, errs.Newf(errs.CodeInvalidInput, "fmm: density %d length %d, want %d", q, len(den), nSrc*sd)
 		}
 	}
 	r := &runState{
@@ -337,7 +408,7 @@ func (e *Evaluator) evaluate(dens [][]float64) ([][]float64, Stats, error) {
 		ws:    make([]scratch, e.pool.Workers()),
 	}
 	// Permute densities into Morton order (fanned out across the batch).
-	r.pool.ForRange(0, r.nrhs, func(_, q int) {
+	err := r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
 		p := make([]float64, nSrc*sd)
 		for i, orig := range t.SrcPerm {
 			o := int(orig)
@@ -346,21 +417,31 @@ func (e *Evaluator) evaluate(dens [][]float64) ([][]float64, Stats, error) {
 		r.pdens[q] = p
 		r.ppots[q] = make([]float64, nTrg*td)
 	})
-
-	r.upwardPass()
-	r.downwardPass()
-	r.leafEvaluation()
+	if err == nil {
+		err = r.upwardPass(ctx)
+	}
+	if err == nil {
+		err = r.downwardPass(ctx)
+	}
+	if err == nil {
+		err = r.leafEvaluation(ctx)
+	}
 
 	// Un-permute potentials to input order.
 	pots := make([][]float64, r.nrhs)
-	r.pool.ForRange(0, r.nrhs, func(_, q int) {
-		pot := make([]float64, nTrg*td)
-		for i, orig := range t.TrgPerm {
-			o := int(orig)
-			copy(pot[o*td:(o+1)*td], r.ppots[q][i*td:(i+1)*td])
-		}
-		pots[q] = pot
-	})
+	if err == nil {
+		err = r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
+			pot := make([]float64, nTrg*td)
+			for i, orig := range t.TrgPerm {
+				o := int(orig)
+				copy(pot[o*td:(o+1)*td], r.ppots[q][i*td:(i+1)*td])
+			}
+			pots[q] = pot
+		})
+	}
+	if err != nil {
+		return nil, Stats{}, errs.FromContext(err)
+	}
 	var st Stats
 	for i := range r.ws {
 		st.Add(r.ws[i].stats)
@@ -413,7 +494,7 @@ func (r *runState) addP2P(sc *scratch, trg, src []float64, den, dst func(q int) 
 // contains sources, deepest level first (S2M at leaves, M2M inside).
 // Levels run in sequence — a parent needs its children — and the boxes
 // of one level fan out over the pool.
-func (r *runState) upwardPass() {
+func (r *runState) upwardPass(ctx context.Context) error {
 	t := r.e.Tree
 	ne, nc := r.ne, r.nc
 	r.phiU = make([][]float64, len(t.Boxes))
@@ -429,7 +510,7 @@ func (r *runState) upwardPass() {
 				m2m[o] = r.e.Ops.M2M(l, o)
 			}
 		}
-		r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
+		err := r.pool.ForRange(ctx, t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 			b := &t.Boxes[bi]
 			if b.SrcCount == 0 {
 				return
@@ -463,7 +544,11 @@ func (r *runState) upwardPass() {
 			r.phiU[bi] = phi
 			sc.stats.Up += time.Since(start)
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // getCheck lazily allocates a box's downward check potentials. Within
@@ -482,20 +567,24 @@ func (r *runState) getCheck(bi int32) []float64 {
 // sequential (a child needs its parent's phiD); within a level the M2L
 // sweep and the per-box X/L2L/inversion sweep each fan out over the
 // pool.
-func (r *runState) downwardPass() {
+func (r *runState) downwardPass(ctx context.Context) error {
 	t := r.e.Tree
 	ne, nc := r.ne, r.nc
 	r.phiD = make([][]float64, len(t.Boxes))
 	if t.Depth() <= 2 {
-		return
+		return nil
 	}
 	r.checks = make([][]float64, len(t.Boxes))
 	for l := 2; l < t.Depth(); l++ {
 		// V list: M2L translations, batched per level.
+		var err error
 		if r.e.fft != nil {
-			r.applyM2LFFT(l)
+			err = r.applyM2LFFT(ctx, l)
 		} else {
-			r.applyM2LDense(l)
+			err = r.applyM2LDense(ctx, l)
+		}
+		if err != nil {
+			return err
 		}
 		downPinv := r.e.Ops.DownwardPinv(l)
 		// L2L operators are only applied when the parent has a downward
@@ -508,7 +597,7 @@ func (r *runState) downwardPass() {
 			}
 		}
 		radius := t.BoxHalfWidth(l)
-		r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
+		err = r.pool.ForRange(ctx, t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 			b := &t.Boxes[bi]
 			if b.TrgCount == 0 {
 				// No targets anywhere below: the local expansion is
@@ -550,15 +639,19 @@ func (r *runState) downwardPass() {
 			}
 			sc.stats.Eval += time.Since(startE)
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // applyM2LDense applies cached dense M2L operators, fanned out over the
 // level's target boxes.
-func (r *runState) applyM2LDense(l int) {
+func (r *runState) applyM2LDense(ctx context.Context, l int) error {
 	t := r.e.Tree
 	ne, nc := r.ne, r.nc
-	r.pool.ForRange(t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
+	return r.pool.ForRange(ctx, t.LevelStart[l], t.LevelStart[l+1], func(w, bi int) {
 		b := &t.Boxes[bi]
 		if b.TrgCount == 0 || len(b.V) == 0 {
 			return
@@ -590,7 +683,7 @@ func (r *runState) applyM2LDense(l int) {
 // the pool; a barrier between them guarantees every grid is ready. The
 // batch is walked one RHS at a time so the in-flight Fourier grids stay
 // at single-RHS size (one grid set per contributing source box).
-func (r *runState) applyM2LFFT(l int) {
+func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 	t := r.e.Tree
 	f := r.e.fft
 	sd, td := r.sd, r.td
@@ -617,13 +710,13 @@ func (r *runState) applyM2LFFT(l int) {
 		}
 	}
 	if len(used) == 0 {
-		return
+		return nil
 	}
 	grids := make([][][]complex128, len(used))
 	for q := 0; q < r.nrhs; q++ {
 		// Forward-transform every contributing source box (grids are
 		// reused across right-hand sides).
-		r.pool.ForRange(0, len(used), func(w, i int) {
+		err := r.pool.ForRange(ctx, 0, len(used), func(w, i int) {
 			sc := &r.ws[w]
 			start := time.Now()
 			if grids[i] == nil {
@@ -633,7 +726,10 @@ func (r *runState) applyM2LFFT(l int) {
 			sc.stats.FlopsDownV += int64(5 * gl * sd) // ~5 n log n per grid
 			sc.stats.DownV += time.Since(start)
 		})
-		r.pool.ForRange(lo, hi, func(w, bi int) {
+		if err != nil {
+			return err
+		}
+		err = r.pool.ForRange(ctx, lo, hi, func(w, bi int) {
 			b := &t.Boxes[bi]
 			if b.TrgCount == 0 || len(b.V) == 0 {
 				return
@@ -662,18 +758,22 @@ func (r *runState) applyM2LFFT(l int) {
 			}
 			sc.stats.DownV += time.Since(start)
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // leafEvaluation computes target potentials at every leaf: direct U-list
 // interactions, W-list M2T evaluations and the local expansion (L2T).
 // Leaves own disjoint target ranges, so the whole sweep fans out at
 // once.
-func (r *runState) leafEvaluation() {
+func (r *runState) leafEvaluation(ctx context.Context) error {
 	t := r.e.Tree
 	td, ne := r.td, r.ne
 	nsurf := 3 * r.e.Ops.Surf.N
-	r.pool.ForRange(0, len(t.Boxes), func(w, bi int) {
+	return r.pool.ForRange(ctx, 0, len(t.Boxes), func(w, bi int) {
 		b := &t.Boxes[bi]
 		if !b.Leaf || b.TrgCount == 0 {
 			return

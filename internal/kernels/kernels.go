@@ -10,8 +10,9 @@
 package kernels
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/errs"
 )
 
 // Kernel is a translation-invariant fundamental solution G(x, y) = G(x-y).
@@ -56,7 +57,7 @@ func ByName(name string) (Kernel, error) {
 	case "kelvin":
 		return NewKelvin(1, 0.3), nil
 	default:
-		return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+		return nil, errs.Newf(errs.CodeUnknownKernel, "kernels: unknown kernel %q", name)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/errs"
 )
 
 // Spec is a serializable description of a built-in kernel: its name plus
@@ -65,7 +67,7 @@ func FromSpec(s Spec) (Kernel, error) {
 		}
 		return NewKelvin(mu, nu), nil
 	default:
-		return nil, fmt.Errorf("kernels: unknown kernel %q", s.Name)
+		return nil, errs.Newf(errs.CodeUnknownKernel, "kernels: unknown kernel %q", s.Name)
 	}
 }
 

@@ -1,8 +1,10 @@
 package krylov
 
 import (
-	"fmt"
+	"context"
 	"sync"
+
+	"repro/internal/errs"
 )
 
 // BatchMatVec applies the system operator to several vectors at once:
@@ -11,21 +13,37 @@ import (
 // evaluations across the vectors.
 type BatchMatVec func(xs [][]float64) ([][]float64, error)
 
-// GMRESBatch solves the systems A x_i = b_i (one shared operator, many
-// right-hand sides) by running one restarted GMRES per system in
+// BatchMatVecCtx is BatchMatVec under a context; the FMM's
+// EvaluateBatchCtx has exactly this shape. A cancellation inside the
+// operator aborts every system sharing the batched application.
+type BatchMatVecCtx func(ctx context.Context, xs [][]float64) ([][]float64, error)
+
+// GMRESBatch is GMRESBatchCtx with context.Background() and a
+// ctx-oblivious operator.
+func GMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt Options) ([]Result, error) {
+	return GMRESBatchCtx(context.Background(),
+		func(_ context.Context, vs [][]float64) ([][]float64, error) { return apply(vs) },
+		bs, xs, opt)
+}
+
+// GMRESBatchCtx solves the systems A x_i = b_i (one shared operator,
+// many right-hand sides) by running one restarted GMRES per system in
 // lockstep: every iteration gathers the pending operator applications
-// of all still-active systems into a single BatchMatVec call. Each
+// of all still-active systems into a single BatchMatVecCtx call. Each
 // system produces exactly the iterates sequential GMRES would — the
 // per-system arithmetic is GMRES itself — while the operator cost is
 // paid once per batched application. xs[i] is the initial guess of
 // system i and is overwritten with its solution.
 //
 // A system that converges (or breaks down) simply drops out of the
-// batch; the rest keep iterating. An operator error aborts every
-// in-flight system and is returned alongside the partial results.
-func GMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt Options) ([]Result, error) {
+// batch; the rest keep iterating. An operator error — including a
+// cancellation surfacing from inside the operator — aborts every
+// in-flight system and is returned alongside the partial results; a
+// ctx cancellation between applications is caught by each system's
+// per-iteration check.
+func GMRESBatchCtx(ctx context.Context, apply BatchMatVecCtx, bs, xs [][]float64, opt Options) ([]Result, error) {
 	if len(xs) != len(bs) {
-		return nil, fmt.Errorf("krylov: got %d initial guesses for %d right-hand sides", len(xs), len(bs))
+		return nil, errs.Newf(errs.CodeInvalidInput, "krylov: got %d initial guesses for %d right-hand sides", len(xs), len(bs))
 	}
 	n := -1
 	for i := range bs {
@@ -33,43 +51,35 @@ func GMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt Options) ([]Result, e
 			n = len(bs[i])
 		}
 		if len(bs[i]) != n || len(xs[i]) != n {
-			return nil, fmt.Errorf("krylov: system %d shape mismatch (one operator: every b and x must have equal length)", i)
+			return nil, errs.Newf(errs.CodeInvalidInput, "krylov: system %d shape mismatch (one operator: every b and x must have equal length)", i)
 		}
 	}
 	if len(bs) == 0 {
 		return nil, nil
 	}
 
-	gw := &batchGateway{apply: apply, registered: len(bs)}
+	gw := &batchGateway{ctx: ctx, apply: apply, registered: len(bs)}
 	results := make([]Result, len(bs))
-	errs := make([]error, len(bs))
+	errors := make([]error, len(bs))
 	var wg sync.WaitGroup
 	wg.Add(len(bs))
 	for i := range bs {
 		go func(i int) {
 			defer wg.Done()
 			defer gw.leave()
-			defer func() {
-				if r := recover(); r != nil {
-					a, ok := r.(batchAbort)
-					if !ok {
-						panic(r)
-					}
-					errs[i] = a.err
-				}
-			}()
-			mv := func(dst, x []float64) {
+			mv := func(_ context.Context, dst, x []float64) error {
 				y, err := gw.call(x)
 				if err != nil {
-					panic(batchAbort{err})
+					return err
 				}
 				copy(dst, y)
+				return nil
 			}
-			results[i], errs[i] = GMRES(mv, bs[i], xs[i], opt)
+			results[i], errors[i] = GMRESCtx(ctx, mv, bs[i], xs[i], opt)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range errors {
 		if err != nil {
 			return results, err
 		}
@@ -77,19 +87,15 @@ func GMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt Options) ([]Result, e
 	return results, nil
 }
 
-// batchAbort carries an operator error out of a system goroutine; the
-// MatVec interface has no error channel, so the wrapper panics with it
-// and the goroutine's recover translates it back.
-type batchAbort struct{ err error }
-
 // batchGateway synchronizes the lockstep: each system submits one
 // vector per GMRES iteration and blocks; the submission completing the
-// set (every registered system pending) flushes them as one BatchMatVec
-// call. Systems whose GMRES returns deregister, shrinking the set the
-// flush waits for — that is the only coupling between systems, so
-// per-system convergence behavior is untouched.
+// set (every registered system pending) flushes them as one
+// BatchMatVecCtx call. Systems whose GMRES returns deregister,
+// shrinking the set the flush waits for — that is the only coupling
+// between systems, so per-system convergence behavior is untouched.
 type batchGateway struct {
-	apply BatchMatVec
+	ctx   context.Context
+	apply BatchMatVecCtx
 
 	mu         sync.Mutex
 	registered int
@@ -130,7 +136,9 @@ func (g *batchGateway) leave() {
 // flushLocked runs one batched application. It holds g.mu across the
 // apply, which is safe: the flush condition means no other system can
 // submit until the results are delivered, and leave() callers merely
-// block until the flush completes.
+// block until the flush completes. Note a blocked call() cannot miss a
+// cancellation: the operator itself observes g.ctx and errors out,
+// which releases every pending system with that error.
 func (g *batchGateway) flushLocked() {
 	reqs := g.pending
 	g.pending = nil
@@ -138,9 +146,9 @@ func (g *batchGateway) flushLocked() {
 	for i, r := range reqs {
 		xs[i] = r.x
 	}
-	ys, err := g.apply(xs)
+	ys, err := g.apply(g.ctx, xs)
 	if err == nil && len(ys) != len(xs) {
-		err = fmt.Errorf("krylov: batch operator returned %d vectors for %d inputs", len(ys), len(xs))
+		err = errs.Newf(errs.CodeInternal, "krylov: batch operator returned %d vectors for %d inputs", len(ys), len(xs))
 	}
 	for i, r := range reqs {
 		if err != nil {

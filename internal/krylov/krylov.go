@@ -4,16 +4,40 @@
 // (Section 3). The paper used PETSc's Krylov solvers; this package
 // implements restarted GMRES and BiCGSTAB over a black-box mat-vec so a
 // boundary integral equation can be solved with the FMM as the operator.
+//
+// The solvers are context-first: the core entry points (GMRESCtx,
+// BiCGSTABCtx, GMRESBatchCtx) take a context.Context, check it before
+// every operator application and pass it to the operator, so a
+// cancellation lands within one FMM pass — the operator aborts
+// mid-evaluation and the iteration stops — rather than running the
+// remaining iterations. Operator errors abort the solve and propagate.
+// The ctx-free functions are thin context.Background() wrappers over a
+// ctx-oblivious operator.
 package krylov
 
 import (
-	"fmt"
+	"context"
 	"math"
+
+	"repro/internal/errs"
 )
 
-// MatVec applies the system operator: dst = A*x. dst and x have equal
-// length and do not alias.
+// MatVec is a ctx-oblivious operator application dst = A*x. dst and x
+// have equal length and do not alias.
 type MatVec func(dst, x []float64)
+
+// MatVecCtx applies the system operator under a context: dst = A*x.
+// Returning a non-nil error aborts the solve with that error; the
+// FMM's EvaluateCtx has exactly this shape.
+type MatVecCtx func(ctx context.Context, dst, x []float64) error
+
+// liftMatVec adapts a ctx-oblivious operator to the ctx-first core.
+func liftMatVec(apply MatVec) MatVecCtx {
+	return func(_ context.Context, dst, x []float64) error {
+		apply(dst, x)
+		return nil
+	}
+}
 
 // Options control the iteration.
 type Options struct {
@@ -63,14 +87,25 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
-// GMRES solves A x = b by restarted GMRES(m) with modified Gram-Schmidt
-// and Givens rotations; x is used as the initial guess and overwritten
-// with the solution.
+// GMRES solves A x = b by restarted GMRES(m); it is GMRESCtx with
+// context.Background() and a ctx-oblivious operator.
 func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
+	return GMRESCtx(context.Background(), liftMatVec(apply), b, x, opt)
+}
+
+// GMRESCtx solves A x = b by restarted GMRES(m) with modified
+// Gram-Schmidt and Givens rotations; x is used as the initial guess and
+// overwritten with the current iterate. ctx is checked before every
+// operator application and passed to the operator; on cancellation the
+// partial Result (iterations so far) is returned together with a typed
+// error satisfying errs.ErrCanceled / errs.ErrDeadlineExceeded and the
+// matching context sentinel. Operator errors abort the solve the same
+// way.
+func GMRESCtx(ctx context.Context, apply MatVecCtx, b, x []float64, opt Options) (Result, error) {
 	opt.fill()
 	n := len(b)
 	if len(x) != n {
-		return Result{}, fmt.Errorf("krylov: x/b length mismatch")
+		return Result{}, errs.New(errs.CodeInvalidInput, "krylov: x/b length mismatch")
 	}
 	bn := norm(b)
 	if bn == 0 {
@@ -78,6 +113,20 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 			x[i] = 0
 		}
 		return Result{Converged: true}, nil
+	}
+	iters := 0
+	// mv is the guarded operator application: one ctx check per mat-vec,
+	// which — together with the operator's own internal checks — is what
+	// bounds how much work a cancellation can strand.
+	mv := func(dst, src []float64) error {
+		if err := ctx.Err(); err != nil {
+			return errs.FromContext(err)
+		}
+		if err := apply(ctx, dst, src); err != nil {
+			return errs.FromContext(err)
+		}
+		iters++
+		return nil
 	}
 	m := opt.Restart
 	// Krylov basis and Hessenberg factorization storage.
@@ -93,11 +142,11 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 	sn := make([]float64, m)
 	g := make([]float64, m+1)
 	w := make([]float64, n)
-	iters := 0
 	for iters < opt.MaxIters {
 		// r0 = b - A x
-		apply(w, x)
-		iters++
+		if err := mv(w, x); err != nil {
+			return Result{Iterations: iters}, err
+		}
 		for i := range w {
 			w[i] = b[i] - w[i]
 		}
@@ -114,8 +163,9 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 		g[0] = beta
 		k := 0
 		for ; k < m && iters < opt.MaxIters; k++ {
-			apply(w, v[k])
-			iters++
+			if err := mv(w, v[k]); err != nil {
+				return Result{Iterations: iters}, err
+			}
 			// Modified Gram-Schmidt.
 			for i := 0; i <= k; i++ {
 				h[i][k] = dot(w, v[i])
@@ -160,7 +210,7 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 			}
 			if h[i][i] == 0 {
 				return Result{Iterations: iters, Residual: math.Abs(g[k]) / bn},
-					fmt.Errorf("krylov: singular Hessenberg diagonal (breakdown)")
+					errs.New(errs.CodeInternal, "krylov: singular Hessenberg diagonal (breakdown)")
 			}
 			y[i] = s / h[i][i]
 		}
@@ -174,8 +224,15 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 			return Result{Iterations: iters, Residual: res, Converged: true}, nil
 		}
 	}
-	// Final residual measurement.
-	apply(w, x)
+	// Final residual measurement — not counted as an iteration (only
+	// solve-advancing applications are; this keeps Iterations <=
+	// MaxIters and comparable with the pre-ctx entry points).
+	if err := ctx.Err(); err != nil {
+		return Result{Iterations: iters}, errs.FromContext(err)
+	}
+	if err := apply(ctx, w, x); err != nil {
+		return Result{Iterations: iters}, errs.FromContext(err)
+	}
 	for i := range w {
 		w[i] = b[i] - w[i]
 	}
@@ -183,12 +240,20 @@ func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
 }
 
 // BiCGSTAB solves A x = b by the stabilized bi-conjugate gradient
-// method; x is the initial guess and is overwritten.
+// method; it is BiCGSTABCtx with context.Background() and a
+// ctx-oblivious operator.
 func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
+	return BiCGSTABCtx(context.Background(), liftMatVec(apply), b, x, opt)
+}
+
+// BiCGSTABCtx solves A x = b by BiCGSTAB under a context; x is the
+// initial guess and is overwritten. Cancellation and operator-error
+// semantics match GMRESCtx.
+func BiCGSTABCtx(ctx context.Context, apply MatVecCtx, b, x []float64, opt Options) (Result, error) {
 	opt.fill()
 	n := len(b)
 	if len(x) != n {
-		return Result{}, fmt.Errorf("krylov: x/b length mismatch")
+		return Result{}, errs.New(errs.CodeInvalidInput, "krylov: x/b length mismatch")
 	}
 	bn := norm(b)
 	if bn == 0 {
@@ -197,9 +262,21 @@ func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
 		}
 		return Result{Converged: true}, nil
 	}
+	iters := 0
+	mv := func(dst, src []float64) error {
+		if err := ctx.Err(); err != nil {
+			return errs.FromContext(err)
+		}
+		if err := apply(ctx, dst, src); err != nil {
+			return errs.FromContext(err)
+		}
+		iters++
+		return nil
+	}
 	r := make([]float64, n)
-	apply(r, x)
-	iters := 1
+	if err := mv(r, x); err != nil {
+		return Result{Iterations: iters}, err
+	}
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
@@ -219,8 +296,9 @@ func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
 		for i := range p {
 			p[i] = r[i] + beta*(p[i]-omega*vv[i])
 		}
-		apply(vv, p)
-		iters++
+		if err := mv(vv, p); err != nil {
+			return Result{Iterations: iters}, err
+		}
 		alpha = rho / dot(rhat, vv)
 		for i := range s {
 			s[i] = r[i] - alpha*vv[i]
@@ -231,8 +309,9 @@ func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
 			}
 			return Result{Iterations: iters, Residual: norm(s) / bn, Converged: true}, nil
 		}
-		apply(t, s)
-		iters++
+		if err := mv(t, s); err != nil {
+			return Result{Iterations: iters}, err
+		}
 		tt := dot(t, t)
 		if tt == 0 {
 			break
@@ -251,7 +330,14 @@ func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
 			break
 		}
 	}
-	apply(t, x)
+	// Final residual measurement — not counted as an iteration, as in
+	// GMRESCtx.
+	if err := ctx.Err(); err != nil {
+		return Result{Iterations: iters}, errs.FromContext(err)
+	}
+	if err := apply(ctx, t, x); err != nil {
+		return Result{Iterations: iters}, errs.FromContext(err)
+	}
 	for i := range t {
 		t[i] = b[i] - t[i]
 	}

@@ -85,9 +85,11 @@ type PlanInfo struct {
 	TrgCount  int `json:"trg_count"`
 	SourceDim int `json:"source_dim"`
 	TargetDim int `json:"target_dim"`
-	// FootprintBytes is the estimated resident size of the plan (tree
-	// plus cached operators), the quantity byte-bounded caching evicts
-	// by.
+	// FootprintBytes is the estimated resident size of the plan: the
+	// tree plus this plan's refcounted share of the process-global
+	// operator caches (shared bytes count once across plans). It is the
+	// quantity byte-bounded caching evicts by; lazily built operators
+	// make it grow after the first evaluation.
 	FootprintBytes int64 `json:"footprint_bytes"`
 	// BuildNanos is the plan construction time (0 when Cached).
 	BuildNanos int64 `json:"build_ns,omitempty"`
@@ -180,8 +182,11 @@ type MetricsSnapshot struct {
 	// quantity Config.CacheBytes bounds).
 	PlansBytes int64 `json:"plans_bytes"`
 	BuildNanos int64 `json:"build_ns"`
-	// Evaluation counters.
-	Evaluations int64     `json:"evaluations"`
-	EvalErrors  int64     `json:"eval_errors"`
-	Stages      EvalStats `json:"stage_totals"`
+	// Evaluation counters. EvalCanceled counts evaluations aborted by
+	// caller cancellation or deadline (tracked apart from EvalErrors so
+	// a disconnect storm is distinguishable from bad input).
+	Evaluations  int64     `json:"evaluations"`
+	EvalErrors   int64     `json:"eval_errors"`
+	EvalCanceled int64     `json:"eval_canceled"`
+	Stages       EvalStats `json:"stage_totals"`
 }

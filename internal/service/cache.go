@@ -21,11 +21,14 @@ type plan struct {
 	sourceDim int
 	targetDim int
 	buildNS   int64
-	// bytes is the estimated footprint (tree + cached operators),
-	// fixed at build time; the cache evicts by total estimated bytes
-	// as well as plan count.
-	bytes int64
 }
+
+// footprint is the plan's live estimated resident size. It is read on
+// demand (not snapshotted at build time) because operator attribution
+// is refcounted across plans: lazily built operators appear after the
+// first evaluation, and a sharing plan's eviction shifts bytes to the
+// survivors.
+func (p *plan) footprint() int64 { return p.ev.FootprintBytes() }
 
 func (p *plan) info(cached bool) PlanInfo {
 	inf := PlanInfo{
@@ -33,7 +36,7 @@ func (p *plan) info(cached bool) PlanInfo {
 		Boxes: p.ev.Boxes(), Depth: p.ev.Depth(),
 		SrcCount: p.srcCount, TrgCount: p.trgCount,
 		SourceDim: p.sourceDim, TargetDim: p.targetDim,
-		FootprintBytes: p.bytes,
+		FootprintBytes: p.footprint(),
 	}
 	if !cached {
 		inf.BuildNanos = p.buildNS
@@ -46,8 +49,7 @@ func (p *plan) info(cached bool) PlanInfo {
 // It is not goroutine safe; the Service guards it with its own mutex.
 type planCache struct {
 	capacity int
-	maxBytes int64 // 0 = no bytes bound
-	bytes    int64
+	maxBytes int64      // 0 = no bytes bound
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 }
@@ -71,28 +73,36 @@ func (c *planCache) get(id string) (*plan, bool) {
 	return el.Value.(*plan), true
 }
 
-// add inserts p as most recently used and returns the evicted plans, if
-// the count or bytes bound was exceeded. The newest plan is always
-// retained even when it alone exceeds the bytes bound — callers hold a
-// direct reference anyway (register returns the plan), so evicting it
+// add inserts p as most recently used and returns the evicted (and
+// displaced) plans, if the count or bytes bound was exceeded; the
+// caller owns closing them. The newest plan is always retained even
+// when it alone exceeds the bytes bound — callers hold a direct
+// reference anyway (register returns the plan), so evicting it
 // immediately would only break follow-up requests by id. Adding an
-// existing key just refreshes it.
+// existing key refreshes it and hands back the displaced plan.
+//
+// The bytes bound is checked against the live footprints: shared
+// operator bytes are refcounted across plans, so the total is the real
+// estimated residency, not the old once-per-plan double count.
 func (c *planCache) add(p *plan) []*plan {
 	if el, ok := c.items[p.id]; ok {
 		c.ll.MoveToFront(el)
-		c.bytes += p.bytes - el.Value.(*plan).bytes
+		displaced := el.Value.(*plan)
 		el.Value = p
-		return nil
+		if displaced == p {
+			return nil
+		}
+		displaced.ev.Close()
+		return []*plan{displaced}
 	}
 	c.items[p.id] = c.ll.PushFront(p)
-	c.bytes += p.bytes
 	var victims []*plan
-	for c.ll.Len() > 1 && (c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+	for c.ll.Len() > 1 && (c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.totalBytes() > c.maxBytes)) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		victim := oldest.Value.(*plan)
 		delete(c.items, victim.id)
-		c.bytes -= victim.bytes
+		victim.ev.Close()
 		victims = append(victims, victim)
 	}
 	return victims
@@ -100,5 +110,11 @@ func (c *planCache) add(p *plan) []*plan {
 
 func (c *planCache) len() int { return c.ll.Len() }
 
-// totalBytes returns the summed estimated footprint of cached plans.
-func (c *planCache) totalBytes() int64 { return c.bytes }
+// totalBytes sums the live estimated footprints of the cached plans.
+func (c *planCache) totalBytes() int64 {
+	var b int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		b += el.Value.(*plan).footprint()
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	kifmm "repro"
+	"repro/internal/errs"
+)
+
+// slowPlan registers a plan big enough that one evaluation spans many
+// engine dispatches, so cancellations have something to interrupt.
+func slowPlan(t *testing.T, svc *Service) (PlanInfo, []float64) {
+	t.Helper()
+	req := cloudRequest(17, 4000)
+	req.Degree = 6
+	info, err := svc.Register(bg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, densitiesFor(req, info.SourceDim)
+}
+
+// TestEvaluateCancelMidSweep: cancelling the evaluation context aborts
+// the engine sweep with the typed error, counts as a cancellation (not
+// an eval error), and leaves the plan fully usable.
+func TestEvaluateCancelMidSweep(t *testing.T) {
+	svc := New(Config{})
+	info, den := slowPlan(t, svc)
+
+	// Uncancelled reference, which also warms the lazy operator caches.
+	start := time.Now()
+	if _, _, err := svc.Evaluate(bg, info.ID, den); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(full / 8)
+		cancel()
+	}()
+	start = time.Now()
+	_, _, err := svc.Evaluate(ctx, info.ID, den)
+	aborted := time.Since(start)
+	if !errors.Is(err, kifmm.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want kifmm.ErrCanceled and context.Canceled", err)
+	}
+	if aborted > full*3/4 {
+		t.Errorf("cancelled evaluation took %v of an uncancelled %v", aborted, full)
+	}
+	m := svc.Metrics()
+	if m.EvalCanceled != 1 {
+		t.Errorf("EvalCanceled = %d, want 1", m.EvalCanceled)
+	}
+	if m.EvalErrors != 0 {
+		t.Errorf("EvalErrors = %d; cancellations must not count as errors", m.EvalErrors)
+	}
+	if _, _, err := svc.Evaluate(bg, info.ID, den); err != nil {
+		t.Errorf("evaluation after a cancelled one failed: %v", err)
+	}
+}
+
+// TestWorkerSlotWaitHonorsContext: a request queued behind a saturated
+// worker pool leaves the queue when its context ends, without ever
+// occupying a slot.
+func TestWorkerSlotWaitHonorsContext(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	info, den := slowPlan(t, svc)
+
+	// Saturate the single slot directly (in-package test): any queued
+	// evaluation now waits until we release it.
+	svc.sem <- struct{}{}
+	defer func() { <-svc.sem }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := svc.Evaluate(ctx, info.ID, den)
+	if !errors.Is(err, kifmm.ErrDeadlineExceeded) {
+		t.Fatalf("queued eval: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("queued eval returned after %v, want promptly at its deadline", d)
+	}
+}
+
+// TestRegisterCancelledBuild: a cancelled registration returns the
+// typed error, does not poison the cache, and a retry builds cleanly.
+func TestRegisterCancelledBuild(t *testing.T) {
+	svc := New(Config{})
+	req := cloudRequest(18, 800)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Register(ctx, req); !errors.Is(err, kifmm.ErrCanceled) {
+		t.Fatalf("cancelled register: err = %v, want ErrCanceled", err)
+	}
+	if n := svc.Plans(); n != 0 {
+		t.Errorf("cancelled build cached %d plans", n)
+	}
+	info, err := svc.Register(bg, req)
+	if err != nil {
+		t.Fatalf("retry after cancelled build: %v", err)
+	}
+	if _, _, err := svc.Evaluate(bg, info.ID, densitiesFor(req, info.SourceDim)); err != nil {
+		t.Errorf("evaluate after retried build: %v", err)
+	}
+}
+
+// TestHTTPClientDisconnectCancelsSweep is the end-to-end acceptance
+// path: a client opens an evaluation over real HTTP and walks away;
+// r.Context() cancels, the ctx plumbing aborts the server-side FMM
+// sweep within one pass, and the service records a cancellation — with
+// no goroutine left behind.
+func TestHTTPClientDisconnectCancelsSweep(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+	info, den := slowPlan(t, svc)
+	if _, _, err := svc.Evaluate(bg, info.ID, den); err != nil { // warm caches
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	body, err := json.Marshal(EvaluateRequest{Densities: den})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/plans/"+info.ID+"/evaluate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Skip("evaluation finished before the disconnect; nothing to observe")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("client-side err = %v, want context.Canceled", err)
+	}
+
+	// The server-side sweep must abort and be recorded as a cancellation.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().EvalCanceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recorded the cancelled evaluation; metrics %+v", svc.Metrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the handler goroutines must drain.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 { // httptest keeps a couple of idle conns
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after disconnect", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The plan survives for the next caller.
+	if _, _, err := svc.Evaluate(bg, info.ID, den); err != nil {
+		t.Errorf("evaluation after a disconnected one failed: %v", err)
+	}
+}
+
+// TestHTTPEvalTimeout: the configured per-request deadline turns a
+// too-slow evaluation into 504 / deadline_exceeded on the wire.
+func TestHTTPEvalTimeout(t *testing.T) {
+	svc := New(Config{})
+	info, den := slowPlan(t, svc)
+	if _, _, err := svc.Evaluate(bg, info.ID, den); err != nil { // warm caches
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc, WithEvalTimeout(2*time.Millisecond)))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/plans/"+info.ID+"/evaluate", EvaluateRequest{Densities: den})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, raw)
+	}
+	e := decode[errorResponse](t, resp)
+	if e.Code != string(errs.CodeDeadlineExceeded) {
+		t.Errorf("wire code = %q, want %q", e.Code, errs.CodeDeadlineExceeded)
+	}
+}
+
+// TestStatusOfMapping pins the taxonomy -> HTTP status table.
+func TestStatusOfMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   errs.Code
+	}{
+		{errs.ErrInvalidInput, http.StatusBadRequest, errs.CodeInvalidInput},
+		{errs.ErrUnknownKernel, http.StatusBadRequest, errs.CodeUnknownKernel},
+		{errs.ErrPlanNotFound, http.StatusNotFound, errs.CodePlanNotFound},
+		{errs.ErrPlanTooLarge, http.StatusRequestEntityTooLarge, errs.CodePlanTooLarge},
+		{errs.ErrCanceled, StatusClientClosedRequest, errs.CodeCanceled},
+		{errs.ErrDeadlineExceeded, http.StatusGatewayTimeout, errs.CodeDeadlineExceeded},
+		{errs.ErrInternal, http.StatusInternalServerError, errs.CodeInternal},
+		{context.Canceled, StatusClientClosedRequest, errs.CodeCanceled},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, errs.CodeDeadlineExceeded},
+		{errors.New("mystery"), http.StatusInternalServerError, errs.CodeInternal},
+	}
+	for _, tc := range cases {
+		status, code := statusOf(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("statusOf(%v) = (%d, %q), want (%d, %q)", tc.err, status, code, tc.status, tc.code)
+		}
+	}
+}
+
+// TestHTTPWireCodes: the machine-readable code rides the error envelope
+// for representative failures.
+func TestHTTPWireCodes(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/plans", PlanRequest{Src: []float64{0, 0, 0}, Kernel: KernelSpec{Name: "warp"}})
+	if e := decode[errorResponse](t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != string(errs.CodeUnknownKernel) {
+		t.Errorf("unknown kernel: status %d code %q, want 400 %q", resp.StatusCode, e.Code, errs.CodeUnknownKernel)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/plans/deadbeef/evaluate", EvaluateRequest{Densities: []float64{1}})
+	if e := decode[errorResponse](t, resp); resp.StatusCode != http.StatusNotFound || e.Code != string(errs.CodePlanNotFound) {
+		t.Errorf("unknown plan: status %d code %q, want 404 %q", resp.StatusCode, e.Code, errs.CodePlanNotFound)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/plans", PlanRequest{Src: []float64{0, 0, 0}, Kernel: KernelSpec{Name: "laplace"}, Degree: 1 << 20})
+	if e := decode[errorResponse](t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge || e.Code != string(errs.CodePlanTooLarge) {
+		t.Errorf("degree bomb: status %d code %q, want 413 %q", resp.StatusCode, e.Code, errs.CodePlanTooLarge)
+	}
+}

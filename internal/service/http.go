@@ -1,17 +1,26 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/errs"
 )
 
 // maxBodyBytes bounds request bodies (geometry and densities are flat
 // float arrays; 256 MiB admits tens of millions of points).
 const maxBodyBytes = 256 << 20
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client's disconnect cancelled the work server-side;
+// the client that caused it rarely sees it, but proxies and access logs
+// do.
+const StatusClientClosedRequest = 499
 
 // Server exposes a Service over HTTP:
 //
@@ -21,15 +30,50 @@ const maxBodyBytes = 256 << 20
 //	POST /v1/evaluate                  one-shot plan+eval      -> EvaluateResponse
 //	GET  /healthz                      liveness                -> HealthResponse
 //	GET  /debug/vars                   expvar + "kifmm" metrics
+//
+// Every request runs under r.Context() plus the configured per-request
+// deadline (WithEvalTimeout / kifmm-serve's -eval-timeout): a client
+// disconnect or deadline cancels the in-flight plan build or engine
+// sweep within one FMM pass.
+//
+// Errors are the kifmm taxonomy on the wire: the JSON envelope is
+// {"error": <message>, "code": <machine-readable code>}, with codes
+// mapped onto statuses as
+//
+//	invalid_input     -> 400    plan_not_found    -> 404
+//	unknown_kernel    -> 400    plan_too_large    -> 413
+//	canceled          -> 499    deadline_exceeded -> 504
+//	internal          -> 500
+//
+// so the Go client can rebuild the typed error (errors.Is against
+// kifmm.ErrCanceled etc. holds across the round trip).
 type Server struct {
 	svc   *Service
 	mux   *http.ServeMux
 	start time.Time
+	// evalTimeout bounds each request's work (0 = none); it layers onto
+	// r.Context(), so whichever of disconnect and deadline comes first
+	// cancels the work.
+	evalTimeout time.Duration
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithEvalTimeout sets the per-request deadline applied to every
+// API request's context (0 disables). Requests that exceed it fail
+// with 504 / deadline_exceeded, and the underlying evaluation stops
+// within one FMM pass.
+func WithEvalTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.evalTimeout = d }
 }
 
 // NewServer wraps svc in an HTTP handler.
-func NewServer(svc *Service) *Server {
+func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate_batch", s.handleEvaluateBatch)
@@ -42,9 +86,22 @@ func NewServer(svc *Service) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// errorResponse is the JSON error envelope.
+// requestContext derives the work context for one API request:
+// r.Context() (cancelled when the client disconnects) bounded by the
+// configured per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.evalTimeout > 0 {
+		return context.WithTimeout(ctx, s.evalTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// errorResponse is the JSON error envelope: a human-readable message
+// plus the machine-readable taxonomy code.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // writeJSON marshals before writing the header, so a
@@ -53,7 +110,10 @@ type errorResponse struct {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	raw, err := json.Marshal(v)
 	if err != nil {
-		raw, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("service: encoding response: %s", err)})
+		raw, _ = json.Marshal(errorResponse{
+			Error: fmt.Sprintf("service: encoding response: %s", err),
+			Code:  string(errs.CodeInternal),
+		})
 		status = http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -62,25 +122,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write([]byte("\n"))
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrPlanNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+// statusOf maps an error chain onto (HTTP status, wire code). Typed
+// errors map by code; bare context errors (belt and braces — the
+// service normally types them) map to 499/504; everything else is a
+// 500 internal.
+func statusOf(err error) (int, errs.Code) {
+	if code, ok := errs.CodeOf(err); ok {
+		switch code {
+		case errs.CodeInvalidInput, errs.CodeUnknownKernel:
+			return http.StatusBadRequest, code
+		case errs.CodePlanNotFound:
+			return http.StatusNotFound, code
+		case errs.CodePlanTooLarge:
+			return http.StatusRequestEntityTooLarge, code
+		case errs.CodeCanceled:
+			return StatusClientClosedRequest, code
+		case errs.CodeDeadlineExceeded:
+			return http.StatusGatewayTimeout, code
+		case errs.CodeInternal:
+			return http.StatusInternalServerError, code
+		}
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, errs.CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, errs.CodeDeadlineExceeded
+	}
+	return http.StatusInternalServerError, errs.CodeInternal
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: string(code)})
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{Error: fmt.Sprintf("service: request body exceeds %d bytes", tooLarge.Limit)})
+		var tooLargeErr *http.MaxBytesError
+		if errors.As(err, &tooLargeErr) {
+			writeError(w, tooLarge("request body exceeds %d bytes", tooLargeErr.Limit))
 			return false
 		}
 		writeError(w, badRequest("decoding body: %s", err))
@@ -94,7 +177,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	info, err := s.svc.Register(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	info, err := s.svc.Register(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -112,7 +197,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	pot, st, err := s.svc.Evaluate(id, req.Densities)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	pot, st, err := s.svc.Evaluate(ctx, id, req.Densities)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -126,7 +213,9 @@ func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	pots, st, err := s.svc.EvaluateBatch(id, req.Densities)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	pots, st, err := s.svc.EvaluateBatch(ctx, id, req.Densities)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -139,7 +228,9 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	info, pot, st, err := s.svc.EvaluateOnce(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	info, pot, st, err := s.svc.EvaluateOnce(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -138,7 +138,7 @@ func TestHTTPHealthAndVars(t *testing.T) {
 		t.Errorf("healthz status field = %q", h.Status)
 	}
 
-	if _, err := svc.Register(cloudRequest(5, 90)); err != nil {
+	if _, err := svc.Register(bg, cloudRequest(5, 90)); err != nil {
 		t.Fatal(err)
 	}
 	resp, err = http.Get(ts.URL + "/debug/vars")

@@ -1,8 +1,7 @@
 package service
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -10,26 +9,38 @@ import (
 	"time"
 
 	kifmm "repro"
+	"repro/internal/errs"
 	"repro/internal/fmm"
 	"repro/internal/kernels"
 	"repro/internal/morton"
 )
 
-// ErrPlanNotFound reports an evaluation against an unknown (or evicted)
-// plan id; the HTTP layer maps it to 404.
-var ErrPlanNotFound = errors.New("service: plan not found")
-
-// ErrBadRequest wraps client-side input errors; the HTTP layer maps it
-// to 400.
-var ErrBadRequest = errors.New("service: bad request")
-
-// ErrInternal wraps server-side failures (e.g. a recovered panic during
-// plan construction); the HTTP layer maps it to 500 so monitoring sees
-// a server defect, not a client mistake.
-var ErrInternal = errors.New("service: internal error")
+// The service speaks the kifmm error taxonomy (internal/errs): every
+// error it returns carries a machine-readable code the HTTP layer maps
+// to a status and puts on the wire, so the Go client can reconstruct
+// the identical typed error. The aliases below keep the familiar names;
+// they are the taxonomy sentinels, usable as errors.Is targets.
+var (
+	// ErrPlanNotFound reports an evaluation against an unknown (or
+	// evicted) plan id; HTTP 404.
+	ErrPlanNotFound = errs.ErrPlanNotFound
+	// ErrBadRequest is client-side input error (invalid_input); HTTP 400.
+	ErrBadRequest = errs.ErrInvalidInput
+	// ErrTooLarge reports a request exceeding a configured size bound
+	// (body bytes, option caps, batch width); HTTP 413.
+	ErrTooLarge = errs.ErrPlanTooLarge
+	// ErrInternal wraps server-side failures (e.g. a recovered panic
+	// during plan construction); HTTP 500 so monitoring sees a server
+	// defect, not a client mistake.
+	ErrInternal = errs.ErrInternal
+)
 
 func badRequest(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+	return errs.Newf(errs.CodeInvalidInput, "service: "+format, args...)
+}
+
+func tooLarge(format string, args ...any) error {
+	return errs.Newf(errs.CodePlanTooLarge, "service: "+format, args...)
 }
 
 // Config sizes the service.
@@ -95,7 +106,7 @@ type Service struct {
 	// platforms; see MetricsSnapshot for meanings).
 	hits, misses, built, evicted, coalesced atomic.Int64
 	buildNS                                 atomic.Int64
-	evaluations, evalErrors                 atomic.Int64
+	evaluations, evalErrors, evalCanceled   atomic.Int64
 	stageUp, stageDownU, stageDownV,
 	stageDownW, stageDownX, stageEval, flops atomic.Int64
 }
@@ -112,9 +123,12 @@ func New(cfg Config) *Service {
 }
 
 // Register resolves req to a cached plan or builds one, coalescing
-// concurrent builds of the same key into a single construction.
-func (s *Service) Register(req PlanRequest) (PlanInfo, error) {
-	p, cached, err := s.register(req)
+// concurrent builds of the same key into a single construction. ctx
+// covers the wait for a worker slot, the build itself (the expensive
+// octree + operator setup is abandoned at its next stage boundary) and
+// the wait on a coalesced build owned by another caller.
+func (s *Service) Register(ctx context.Context, req PlanRequest) (PlanInfo, error) {
+	p, cached, err := s.register(ctx, req)
 	if err != nil {
 		return PlanInfo{}, err
 	}
@@ -125,7 +139,13 @@ func (s *Service) Register(req PlanRequest) (PlanInfo, error) {
 // EvaluateOnce; it returns the plan itself so one-shot callers are
 // immune to the plan being LRU-evicted between registration and
 // evaluation.
-func (s *Service) register(req PlanRequest) (*plan, bool, error) {
+//
+// The build runs under the initiating caller's ctx: if that caller
+// disconnects mid-build, the build aborts and any coalesced waiters
+// receive the typed cancellation error (their retry starts a fresh
+// build). A waiter's own ctx only abandons its wait — the build it
+// coalesced onto keeps running for the others.
+func (s *Service) register(ctx context.Context, req PlanRequest) (*plan, bool, error) {
 	src, trg, opt, spec, key, err := s.resolve(req)
 	if err != nil {
 		return nil, false, err
@@ -140,7 +160,11 @@ func (s *Service) register(req PlanRequest) (*plan, bool, error) {
 	if c, ok := s.building[key]; ok {
 		s.coalesced.Add(1)
 		s.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, errs.FromContext(ctx.Err())
+		}
 		if c.err != nil {
 			return nil, false, c.err
 		}
@@ -151,7 +175,7 @@ func (s *Service) register(req PlanRequest) (*plan, bool, error) {
 	s.building[key] = c
 	s.mu.Unlock()
 
-	s.runBuild(key, c, src, trg, opt, spec)
+	s.runBuild(ctx, key, c, src, trg, opt, spec)
 
 	if c.err != nil {
 		return nil, false, c.err
@@ -163,16 +187,18 @@ func (s *Service) register(req PlanRequest) (*plan, bool, error) {
 // worker-slot release, building-table removal, closing c.done — runs in
 // defers so a panicking build cannot leak a pool slot or leave waiters
 // blocked on c.done forever.
-func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kifmm.Options, spec kernels.Spec) {
+func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, trg []float64, opt kifmm.Options, spec kernels.Spec) {
 	defer func() {
 		if r := recover(); r != nil {
-			c.plan, c.err = nil, fmt.Errorf("%w: plan build panicked: %v", ErrInternal, r)
+			c.plan, c.err = nil, errs.Newf(errs.CodeInternal, "service: plan build panicked: %v", r)
 		}
 		s.mu.Lock()
 		delete(s.building, key)
 		if c.err == nil {
 			s.built.Add(1)
 			s.buildNS.Add(c.plan.buildNS)
+			// The cache closes victims as it evicts them (accounting
+			// only; they stay usable for in-flight evaluations).
 			s.evicted.Add(int64(len(s.cache.add(c.plan))))
 		}
 		s.mu.Unlock()
@@ -180,10 +206,16 @@ func (s *Service) runBuild(key string, c *buildCall, src, trg []float64, opt kif
 	}()
 	// Builds are the expensive step (octree + operator setup); bound
 	// their concurrency with the same worker pool as evaluations so a
-	// burst of distinct registrations cannot saturate the machine.
-	s.sem <- struct{}{}
+	// burst of distinct registrations cannot saturate the machine. The
+	// wait honors ctx — a caller that gives up leaves the queue.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = errs.FromContext(ctx.Err())
+		return
+	}
 	defer func() { <-s.sem }()
-	c.plan, c.err = s.build(key, src, trg, opt, spec)
+	c.plan, c.err = s.build(ctx, key, src, trg, opt, spec)
 }
 
 // resolve validates the request, computes the content-hash plan key and
@@ -210,18 +242,18 @@ func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Option
 	}
 	opt, err = req.options()
 	if err != nil {
-		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+		return nil, nil, opt, spec, "", errs.Typed(err, errs.CodeInvalidInput)
 	}
 	// The per-evaluation fan-out is server policy, not plan identity
 	// (PlanKey excludes Workers).
 	opt.Workers = s.cfg.EvalWorkers
 	spec, err = kernels.SpecFor(opt.Kernel)
 	if err != nil {
-		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+		return nil, nil, opt, spec, "", errs.Typed(err, errs.CodeInvalidInput)
 	}
 	key, err = kifmm.PlanKey(src, trg, opt)
 	if err != nil {
-		return nil, nil, opt, spec, "", fmt.Errorf("%w: %s", ErrBadRequest, err)
+		return nil, nil, opt, spec, "", errs.Typed(err, errs.CodeInvalidInput)
 	}
 	return src, trg, opt, spec, key, nil
 }
@@ -261,14 +293,27 @@ func checkCoordinates(name string, pts []float64) error {
 }
 
 func checkOptionBounds(req PlanRequest) error {
-	if req.Degree < 0 || req.Degree > maxRequestDegree {
-		return badRequest("degree %d outside [0, %d]", req.Degree, maxRequestDegree)
+	// Negative or non-finite values are malformed input (400); values
+	// beyond the caps describe a plan the server refuses to build (413,
+	// plan_too_large) — distinct codes so clients can tell a typo from
+	// a capacity policy.
+	if req.Degree < 0 {
+		return badRequest("degree %d is negative", req.Degree)
 	}
-	if req.MaxPoints < 0 || req.MaxPoints > maxRequestMaxPoints {
-		return badRequest("max_points %d outside [0, %d]", req.MaxPoints, maxRequestMaxPoints)
+	if req.Degree > maxRequestDegree {
+		return tooLarge("degree %d exceeds the limit %d", req.Degree, maxRequestDegree)
 	}
-	if req.MaxDepth < 0 || req.MaxDepth > maxRequestMaxDepth {
-		return badRequest("max_depth %d outside [0, %d]", req.MaxDepth, maxRequestMaxDepth)
+	if req.MaxPoints < 0 {
+		return badRequest("max_points %d is negative", req.MaxPoints)
+	}
+	if req.MaxPoints > maxRequestMaxPoints {
+		return tooLarge("max_points %d exceeds the limit %d", req.MaxPoints, maxRequestMaxPoints)
+	}
+	if req.MaxDepth < 0 {
+		return badRequest("max_depth %d is negative", req.MaxDepth)
+	}
+	if req.MaxDepth > maxRequestMaxDepth {
+		return tooLarge("max_depth %d exceeds the limit %d", req.MaxDepth, maxRequestMaxDepth)
 	}
 	if math.IsNaN(req.PinvTol) || req.PinvTol < 0 || req.PinvTol >= 1 {
 		return badRequest("pinv_tol %g outside [0, 1)", req.PinvTol)
@@ -281,18 +326,19 @@ func checkOptionBounds(req PlanRequest) error {
 // normalized kernel spec resolve derived — explicit parameters
 // regardless of how the registering client spelled them — so the
 // PlanInfo echo is independent of registration order.
-func (s *Service) build(key string, src, trg []float64, opt kifmm.Options, spec kernels.Spec) (*plan, error) {
+func (s *Service) build(ctx context.Context, key string, src, trg []float64, opt kifmm.Options, spec kernels.Spec) (*plan, error) {
 	start := time.Now()
-	ev, err := kifmm.NewEvaluator(src, trg, opt)
+	ev, err := kifmm.NewEvaluatorCtx(ctx, src, trg, opt)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
+		// Cancellation keeps its code; anything else the library
+		// rejected is client input.
+		return nil, errs.Typed(err, errs.CodeInvalidInput)
 	}
 	return &plan{
 		id: key, ev: ev, spec: spec,
 		srcCount: len(src) / 3, trgCount: len(trg) / 3,
 		sourceDim: opt.Kernel.SourceDim(), targetDim: opt.Kernel.TargetDim(),
 		buildNS: time.Since(start).Nanoseconds(),
-		bytes:   ev.FootprintBytes(),
 	}, nil
 }
 
@@ -302,25 +348,28 @@ func (s *Service) lookup(planID string) (*plan, error) {
 	p, ok := s.cache.get(planID)
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrPlanNotFound, planID)
+		return nil, errs.Newf(errs.CodePlanNotFound, "service: plan not found: %q", planID)
 	}
 	return p, nil
 }
 
 // Evaluate runs one density→potential evaluation on a registered plan.
-func (s *Service) Evaluate(planID string, den []float64) ([]float64, EvalStats, error) {
+// ctx covers the wait for a worker slot and the evaluation itself: a
+// cancellation or deadline aborts the engine sweep within one pass and
+// returns the typed error (ErrCanceled / ErrDeadlineExceeded).
+func (s *Service) Evaluate(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, error) {
 	p, err := s.lookup(planID)
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
-	return s.evaluatePlan(p, den)
+	return s.evaluatePlan(ctx, p, den)
 }
 
 // EvaluateBatch evaluates many density vectors against one registered
 // plan in a single engine sweep, amortizing tree traversal and
 // near-field kernel evaluations across the batch. It occupies one
 // worker slot regardless of batch size.
-func (s *Service) EvaluateBatch(planID string, dens [][]float64) ([][]float64, EvalStats, error) {
+func (s *Service) EvaluateBatch(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, error) {
 	p, err := s.lookup(planID)
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -331,7 +380,7 @@ func (s *Service) EvaluateBatch(planID string, dens [][]float64) ([][]float64, E
 	}
 	if len(dens) > maxBatchSize {
 		s.evalErrors.Add(1)
-		return nil, EvalStats{}, badRequest("batch of %d density vectors exceeds the limit %d", len(dens), maxBatchSize)
+		return nil, EvalStats{}, tooLarge("batch of %d density vectors exceeds the limit %d", len(dens), maxBatchSize)
 	}
 	want := p.srcCount * p.sourceDim
 	for q, den := range dens {
@@ -341,17 +390,17 @@ func (s *Service) EvaluateBatch(planID string, dens [][]float64) ([][]float64, E
 				q, len(den), want, p.srcCount, p.sourceDim)
 		}
 	}
-	return s.runEval(p, dens)
+	return s.runEval(ctx, p, dens)
 }
 
 // evaluatePlan validates and runs a single-vector evaluation.
-func (s *Service) evaluatePlan(p *plan, den []float64) ([]float64, EvalStats, error) {
+func (s *Service) evaluatePlan(ctx context.Context, p *plan, den []float64) ([]float64, EvalStats, error) {
 	if want := p.srcCount * p.sourceDim; len(den) != want {
 		s.evalErrors.Add(1)
 		return nil, EvalStats{}, badRequest("densities length %d, want %d (%d sources x %d components)",
 			len(den), want, p.srcCount, p.sourceDim)
 	}
-	pots, st, err := s.runEval(p, [][]float64{den})
+	pots, st, err := s.runEval(ctx, p, [][]float64{den})
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
@@ -361,27 +410,33 @@ func (s *Service) evaluatePlan(p *plan, den []float64) ([]float64, EvalStats, er
 // runEval executes one (possibly batched) evaluation under a worker
 // slot. Evaluation is read-only on plan state, so concurrent calls
 // sharing a plan need no per-plan serialization — the pool slot is the
-// only gate.
-func (s *Service) runEval(p *plan, dens [][]float64) ([][]float64, EvalStats, error) {
+// only gate, and the wait for it honors ctx (a caller that disconnects
+// while queued never occupies a slot).
+func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]float64, EvalStats, error) {
 	pots, st, err := func() (pots [][]float64, st fmm.Stats, err error) {
 		// Mirror runBuild's panic safety: release the worker slot in a
 		// defer so a panic in the numeric evaluation path cannot shrink
 		// the pool.
 		defer func() {
 			if r := recover(); r != nil {
-				pots, err = nil, fmt.Errorf("%w: evaluation panicked: %v", ErrInternal, r)
+				pots, err = nil, errs.Newf(errs.CodeInternal, "service: evaluation panicked: %v", r)
 			}
 		}()
-		s.sem <- struct{}{}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmm.Stats{}, errs.FromContext(ctx.Err())
+		}
 		defer func() { <-s.sem }()
-		return p.ev.EvaluateBatchStats(dens)
+		return p.ev.EvaluateBatchStatsCtx(ctx, dens)
 	}()
 	if err != nil {
-		s.evalErrors.Add(1)
-		if errors.Is(err, ErrInternal) {
-			return nil, EvalStats{}, err
+		if code, _ := errs.CodeOf(errs.FromContext(err)); code == errs.CodeCanceled || code == errs.CodeDeadlineExceeded {
+			s.evalCanceled.Add(1)
+		} else {
+			s.evalErrors.Add(1)
 		}
-		return nil, EvalStats{}, badRequest("%s", err)
+		return nil, EvalStats{}, errs.Typed(err, errs.CodeInvalidInput)
 	}
 	s.recordStats(st, len(dens))
 	return pots, statsWire(st), nil
@@ -391,12 +446,12 @@ func (s *Service) runEval(p *plan, dens [][]float64) ([][]float64, EvalStats, er
 // call; the plan stays cached for future requests. The evaluation runs
 // against the plan returned by registration, so it cannot miss even if
 // the plan is concurrently evicted from the cache.
-func (s *Service) EvaluateOnce(req OneShotRequest) (PlanInfo, []float64, EvalStats, error) {
-	p, cached, err := s.register(req.PlanRequest)
+func (s *Service) EvaluateOnce(ctx context.Context, req OneShotRequest) (PlanInfo, []float64, EvalStats, error) {
+	p, cached, err := s.register(ctx, req.PlanRequest)
 	if err != nil {
 		return PlanInfo{}, nil, EvalStats{}, err
 	}
-	pot, st, err := s.evaluatePlan(p, req.Densities)
+	pot, st, err := s.evaluatePlan(ctx, p, req.Densities)
 	if err != nil {
 		return PlanInfo{}, nil, EvalStats{}, err
 	}
@@ -450,6 +505,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 		BuildNanos:     s.buildNS.Load(),
 		Evaluations:    s.evaluations.Load(),
 		EvalErrors:     s.evalErrors.Load(),
+		EvalCanceled:   s.evalCanceled.Load(),
 		Stages: EvalStats{
 			UpNanos: up, DownUNanos: du, DownVNanos: dv,
 			DownWNanos: dw, DownXNanos: dx, EvalNanos: ev,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,9 @@ import (
 	kifmm "repro"
 	"repro/internal/kernels"
 )
+
+// bg is the context for test calls that exercise no cancellation.
+var bg = context.Background()
 
 // cloudRequest builds a deterministic point cloud distinct per seed.
 func cloudRequest(seed, n int) PlanRequest {
@@ -59,7 +63,7 @@ func TestSingleflightBuildsOnePlan(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			infos[i], errs[i] = svc.Register(req)
+			infos[i], errs[i] = svc.Register(bg, req)
 		}(i)
 	}
 	close(start)
@@ -89,7 +93,7 @@ func TestSingleflightBuildsOnePlan(t *testing.T) {
 
 	// A later identical registration is a pure cache hit.
 	hitsBefore := m.CacheHits
-	info, err := svc.Register(req)
+	info, err := svc.Register(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +113,7 @@ func TestEvaluateMatchesDirect(t *testing.T) {
 	req := cloudRequest(2, 400)
 	req.Degree = 6
 
-	info, err := svc.Register(req)
+	info, err := svc.Register(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +126,7 @@ func TestEvaluateMatchesDirect(t *testing.T) {
 
 	// The kernel echo is normalized: defaulted parameters come back
 	// explicit, independent of how the client spelled the spec.
-	stokes, err := svc.Register(PlanRequest{Src: req.Src, Kernel: kernels.Spec{Name: "stokes"}})
+	stokes, err := svc.Register(bg, PlanRequest{Src: req.Src, Kernel: kernels.Spec{Name: "stokes"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +134,7 @@ func TestEvaluateMatchesDirect(t *testing.T) {
 		t.Errorf("stokes echo params = %v, want explicit mu=1", stokes.Kernel.Params)
 	}
 	den := densitiesFor(req, info.SourceDim)
-	got, st, err := svc.Evaluate(info.ID, den)
+	got, st, err := svc.Evaluate(bg, info.ID, den)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +168,7 @@ func TestLRUEviction(t *testing.T) {
 
 	var ids []string
 	for seed := 1; seed <= 3; seed++ {
-		info, err := svc.Register(cloudRequest(seed, 120))
+		info, err := svc.Register(bg, cloudRequest(seed, 120))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,27 +184,27 @@ func TestLRUEviction(t *testing.T) {
 
 	// The oldest plan is gone; the two recent ones still evaluate.
 	den := densitiesFor(cloudRequest(1, 120), 1)
-	if _, _, err := svc.Evaluate(ids[0], den); !errors.Is(err, ErrPlanNotFound) {
+	if _, _, err := svc.Evaluate(bg, ids[0], den); !errors.Is(err, ErrPlanNotFound) {
 		t.Errorf("evicted plan: err = %v, want ErrPlanNotFound", err)
 	}
 	for _, id := range ids[1:] {
-		if _, _, err := svc.Evaluate(id, den); err != nil {
+		if _, _, err := svc.Evaluate(bg, id, den); err != nil {
 			t.Errorf("live plan %s: %v", id, err)
 		}
 	}
 
 	// Touching the LRU order changes the next victim: re-register plan 2
 	// (hit), then a fresh plan must evict plan 3.
-	if _, err := svc.Register(cloudRequest(2, 120)); err != nil {
+	if _, err := svc.Register(bg, cloudRequest(2, 120)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Register(cloudRequest(4, 120)); err != nil {
+	if _, err := svc.Register(bg, cloudRequest(4, 120)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Evaluate(ids[2], den); !errors.Is(err, ErrPlanNotFound) {
+	if _, _, err := svc.Evaluate(bg, ids[2], den); !errors.Is(err, ErrPlanNotFound) {
 		t.Errorf("plan 3 should be the LRU victim, err = %v", err)
 	}
-	if _, _, err := svc.Evaluate(ids[1], den); err != nil {
+	if _, _, err := svc.Evaluate(bg, ids[1], den); err != nil {
 		t.Errorf("plan 2 was touched and must survive: %v", err)
 	}
 }
@@ -219,7 +223,7 @@ func TestConcurrentEvaluations(t *testing.T) {
 	var fixtures []fixture
 	for seed := 1; seed <= 2; seed++ {
 		req := cloudRequest(seed, 200)
-		info, err := svc.Register(req)
+		info, err := svc.Register(bg, req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +244,7 @@ func TestConcurrentEvaluations(t *testing.T) {
 			wg.Add(1)
 			go func(f fixture) {
 				defer wg.Done()
-				got, _, err := svc.Evaluate(f.id, f.den)
+				got, _, err := svc.Evaluate(bg, f.id, f.den)
 				if err != nil {
 					errc <- err
 					return
@@ -269,12 +273,12 @@ func TestConcurrentEvaluations(t *testing.T) {
 func TestConcurrentSharedPlanIdentical(t *testing.T) {
 	svc := New(Config{Workers: 8})
 	req := cloudRequest(3, 500)
-	info, err := svc.Register(req)
+	info, err := svc.Register(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	den := densitiesFor(req, info.SourceDim)
-	want, _, err := svc.Evaluate(info.ID, den)
+	want, _, err := svc.Evaluate(bg, info.ID, den)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +292,7 @@ func TestConcurrentSharedPlanIdentical(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			<-start
-			got, st, err := svc.Evaluate(info.ID, den)
+			got, st, err := svc.Evaluate(bg, info.ID, den)
 			if err != nil {
 				errc <- err
 				return
@@ -317,7 +321,7 @@ func TestConcurrentSharedPlanIdentical(t *testing.T) {
 func TestEvaluateBatch(t *testing.T) {
 	svc := New(Config{})
 	req := cloudRequest(4, 300)
-	info, err := svc.Register(req)
+	info, err := svc.Register(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +333,7 @@ func TestEvaluateBatch(t *testing.T) {
 		for i := range dens[q] {
 			dens[q][i] += float64(q)
 		}
-		pot, _, err := svc.Evaluate(info.ID, dens[q])
+		pot, _, err := svc.Evaluate(bg, info.ID, dens[q])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,7 +341,7 @@ func TestEvaluateBatch(t *testing.T) {
 	}
 	evalsBefore := svc.Metrics().Evaluations
 
-	pots, st, err := svc.EvaluateBatch(info.ID, dens)
+	pots, st, err := svc.EvaluateBatch(bg, info.ID, dens)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,21 +361,21 @@ func TestEvaluateBatch(t *testing.T) {
 	}
 
 	// Validation: empty batch, ragged vector, unknown plan, batch bomb.
-	if _, _, err := svc.EvaluateBatch(info.ID, nil); !errors.Is(err, ErrBadRequest) {
+	if _, _, err := svc.EvaluateBatch(bg, info.ID, nil); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("empty batch: err = %v, want ErrBadRequest", err)
 	}
-	if _, _, err := svc.EvaluateBatch(info.ID, [][]float64{dens[0], {1}}); !errors.Is(err, ErrBadRequest) {
+	if _, _, err := svc.EvaluateBatch(bg, info.ID, [][]float64{dens[0], {1}}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("ragged batch: err = %v, want ErrBadRequest", err)
 	}
-	if _, _, err := svc.EvaluateBatch("no-such-plan", dens); !errors.Is(err, ErrPlanNotFound) {
+	if _, _, err := svc.EvaluateBatch(bg, "no-such-plan", dens); !errors.Is(err, ErrPlanNotFound) {
 		t.Errorf("unknown plan: err = %v, want ErrPlanNotFound", err)
 	}
 	huge := make([][]float64, maxBatchSize+1)
 	for i := range huge {
 		huge[i] = dens[0]
 	}
-	if _, _, err := svc.EvaluateBatch(info.ID, huge); !errors.Is(err, ErrBadRequest) {
-		t.Errorf("oversized batch: err = %v, want ErrBadRequest", err)
+	if _, _, err := svc.EvaluateBatch(bg, info.ID, huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized batch: err = %v, want ErrTooLarge (413)", err)
 	}
 }
 
@@ -379,7 +383,7 @@ func TestEvaluateBatch(t *testing.T) {
 // footprint, not only by plan count.
 func TestBytesBoundedEviction(t *testing.T) {
 	probe := New(Config{})
-	first, err := probe.Register(cloudRequest(1, 150))
+	first, err := probe.Register(bg, cloudRequest(1, 150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,11 +394,11 @@ func TestBytesBoundedEviction(t *testing.T) {
 	// Budget for ~1.5 equally sized plans: the second registration must
 	// evict the first even though the count bound (32) is far away.
 	svc := New(Config{CacheBytes: first.FootprintBytes * 3 / 2})
-	a, err := svc.Register(cloudRequest(1, 150))
+	a, err := svc.Register(bg, cloudRequest(1, 150))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Register(cloudRequest(2, 150)); err != nil {
+	if _, err := svc.Register(bg, cloudRequest(2, 150)); err != nil {
 		t.Fatal(err)
 	}
 	m := svc.Metrics()
@@ -405,53 +409,56 @@ func TestBytesBoundedEviction(t *testing.T) {
 		t.Errorf("PlansBytes = %d exceeds budget %d", m.PlansBytes, svc.cfg.CacheBytes)
 	}
 	den := densitiesFor(cloudRequest(1, 150), 1)
-	if _, _, err := svc.Evaluate(a.ID, den); !errors.Is(err, ErrPlanNotFound) {
+	if _, _, err := svc.Evaluate(bg, a.ID, den); !errors.Is(err, ErrPlanNotFound) {
 		t.Errorf("byte-evicted plan: err = %v, want ErrPlanNotFound", err)
 	}
 
 	// A single plan larger than the whole budget is still retained (the
 	// registering caller holds it anyway).
 	tiny := New(Config{CacheBytes: 1})
-	info, err := tiny.Register(cloudRequest(3, 150))
+	info, err := tiny.Register(bg, cloudRequest(3, 150))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tiny.Plans() != 1 {
 		t.Errorf("oversized plan not retained, live = %d", tiny.Plans())
 	}
-	if _, _, err := tiny.Evaluate(info.ID, den); err != nil {
+	if _, _, err := tiny.Evaluate(bg, info.ID, den); err != nil {
 		t.Errorf("oversized-but-newest plan must evaluate: %v", err)
 	}
 }
 
 func TestRegisterValidation(t *testing.T) {
 	svc := New(Config{})
-	cases := []PlanRequest{
-		{Kernel: kernels.Spec{Name: "laplace"}},                                              // no geometry
-		{Src: []float64{1, 2}, Kernel: kernels.Spec{Name: "laplace"}},                        // not 3k
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "nope"}},                        // bad kernel
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Backend: "quantum"}, // bad backend
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: 1000000},    // degree bomb
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: -1},
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxPoints: -5},
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxDepth: 99},
-		{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, PinvTol: 2},
-		{Src: []float64{1e308, 0, 0, -1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}},            // bounding cube overflows
-		{Src: []float64{math.NaN(), 0, 0}, Kernel: kernels.Spec{Name: "laplace"}},                     // NaN coordinate
-		{Src: []float64{0, 0, 0}, Trg: []float64{1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}}, // bad trg
+	cases := []struct {
+		req  PlanRequest
+		want error
+	}{
+		{PlanRequest{Kernel: kernels.Spec{Name: "laplace"}}, ErrBadRequest},                                              // no geometry
+		{PlanRequest{Src: []float64{1, 2}, Kernel: kernels.Spec{Name: "laplace"}}, ErrBadRequest},                        // not 3k
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "nope"}}, kifmm.ErrUnknownKernel},               // bad kernel
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Backend: "quantum"}, ErrBadRequest}, // bad backend
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: 1000000}, ErrTooLarge},      // degree bomb
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, Degree: -1}, ErrBadRequest},
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxPoints: -5}, ErrBadRequest},
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, MaxDepth: 99}, ErrTooLarge},
+		{PlanRequest{Src: []float64{1, 2, 3}, Kernel: kernels.Spec{Name: "laplace"}, PinvTol: 2}, ErrBadRequest},
+		{PlanRequest{Src: []float64{1e308, 0, 0, -1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}}, ErrBadRequest},            // bounding cube overflows
+		{PlanRequest{Src: []float64{math.NaN(), 0, 0}, Kernel: kernels.Spec{Name: "laplace"}}, ErrBadRequest},                     // NaN coordinate
+		{PlanRequest{Src: []float64{0, 0, 0}, Trg: []float64{1e308, 0, 0}, Kernel: kernels.Spec{Name: "laplace"}}, ErrBadRequest}, // bad trg
 	}
-	for i, req := range cases {
-		if _, err := svc.Register(req); !errors.Is(err, ErrBadRequest) {
-			t.Errorf("case %d: err = %v, want ErrBadRequest", i, err)
+	for i, tc := range cases {
+		if _, err := svc.Register(bg, tc.req); !errors.Is(err, tc.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, tc.want)
 		}
 	}
 
 	req := cloudRequest(1, 90)
-	info, err := svc.Register(req)
+	info, err := svc.Register(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Evaluate(info.ID, make([]float64, 7)); !errors.Is(err, ErrBadRequest) {
+	if _, _, err := svc.Evaluate(bg, info.ID, make([]float64, 7)); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("bad density length: err = %v, want ErrBadRequest", err)
 	}
 }

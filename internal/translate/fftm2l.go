@@ -26,6 +26,10 @@ type FFTM2L struct {
 	set  *Set
 	M    int // padded grid edge
 	plan *fft.Plan3
+	// closed marks that this backend released its refcount on the
+	// tensor cache (Close); accounting only, the backend keeps working.
+	closed bool
+	mu     sync.Mutex
 }
 
 // tensorCache shares transformed kernel tensors process-wide, mirroring
@@ -40,7 +44,19 @@ var (
 	tensorMu      sync.RWMutex
 	tensorBuildMu sync.Mutex
 	tensorCache   = map[tensorKey][][]complex128{}
+	// tensorRefs counts the live FFTM2L backends per (kernel, degree),
+	// the granularity CachedBytes attributes at; dividing by it makes
+	// the summed footprint of plans sharing tensors count each byte
+	// once. Guarded by tensorMu.
+	tensorRefs = map[tensorRefKey]int64{}
 )
+
+// tensorRefKey groups the tensors one backend attributes: CachedBytes
+// matches on kernel and degree (all radii), so refcounts do too.
+type tensorRefKey struct {
+	kern kernels.Kernel
+	p    int
+}
 
 type tensorKey struct {
 	kern   kernels.Kernel
@@ -52,11 +68,32 @@ type tensorKey struct {
 // NewFFTM2L prepares the FFT M2L backend for an operator set.
 func NewFFTM2L(s *Set) *FFTM2L {
 	m := fft.NextSmooth(2*s.P - 1)
+	tensorMu.Lock()
+	tensorRefs[tensorRefKey{kern: s.Kern, p: s.P}]++
+	tensorMu.Unlock()
 	return &FFTM2L{
 		set:  s,
 		M:    m,
 		plan: fft.NewPlan3(m, m, m),
 	}
+}
+
+// Close releases this backend's claim on the process-global tensor
+// cache for footprint accounting; the tensors stay cached and the
+// backend keeps working. Idempotent.
+func (f *FFTM2L) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	tensorMu.Lock()
+	k := tensorRefKey{kern: f.set.Kern, p: f.set.P}
+	if tensorRefs[k] > 0 {
+		tensorRefs[k]--
+	}
+	tensorMu.Unlock()
 }
 
 // GridLen returns the number of grid points per component (M³).
@@ -218,10 +255,12 @@ func (f *FFTM2L) buildTensor(r float64, k [3]int) [][]complex128 {
 	return t
 }
 
-// CachedBytes estimates the memory held by transformed kernel tensors
-// for this backend's kernel and degree. The cache is process-global, so
-// plans sharing a kernel/degree each attribute the same tensors — a
-// conservative overestimate for byte-bounded plan caches.
+// CachedBytes estimates this backend's share of the transformed kernel
+// tensors cached for its kernel and degree. The cache is process-global
+// and the bytes are divided by the number of live backends over the
+// same kernel/degree, so the summed footprint of plans sharing tensors
+// counts each byte once; a backend surviving past Close falls back to
+// full attribution (conservative, never under-counting).
 func (f *FFTM2L) CachedBytes() int64 {
 	tensorMu.RLock()
 	defer tensorMu.RUnlock()
@@ -233,6 +272,9 @@ func (f *FFTM2L) CachedBytes() int64 {
 		for _, g := range t {
 			b += int64(len(g)) * 16
 		}
+	}
+	if refs := tensorRefs[tensorRefKey{kern: f.set.Kern, p: f.set.P}]; refs > 1 {
+		b /= refs
 	}
 	return b
 }

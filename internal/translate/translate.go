@@ -22,6 +22,7 @@ package translate
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/kernels"
 	"repro/internal/linalg"
@@ -55,9 +56,18 @@ type Set struct {
 
 	mu     sync.Mutex
 	levels map[int]*levelOps
+	// closed marks that this set released its refcounts on the global
+	// caches (Close); entries mapped afterwards are not re-counted.
+	closed bool
 }
 
 type levelOps struct {
+	// refs counts the live Sets holding this entry, so footprint
+	// estimates can attribute the shared bytes once across plans
+	// (CachedBytes divides by it). Incremented under globalMu when a
+	// Set first maps the entry, decremented by Set.Close.
+	refs atomic.Int64
+
 	mu       sync.Mutex
 	pinvUp   *linalg.Dense // UC check potential -> UE equivalent density
 	pinvDown *linalg.Dense // DC check potential -> DE equivalent density
@@ -175,10 +185,29 @@ func (s *Set) level(key int) *levelOps {
 			l = &levelOps{m2l: make(map[[3]int]*linalg.Dense)}
 			globalCache[gk] = l
 		}
+		if !s.closed {
+			l.refs.Add(1)
+		}
 		globalMu.Unlock()
 		s.levels[key] = l
 	}
 	return l
+}
+
+// Close releases this set's claim on the process-global operator cache
+// for footprint accounting. The cache keeps its entries — a closed set
+// keeps working (evicted plans finish in-flight evaluations); only the
+// byte attribution shifts to the sets still open. Close is idempotent.
+func (s *Set) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, l := range s.levels {
+		l.refs.Add(-1)
+	}
 }
 
 // geomRadius returns the box half-width the cached operators for cache
@@ -198,11 +227,13 @@ func denseBytes(m *linalg.Dense) int64 {
 	return int64(m.Rows) * int64(m.Cols) * 8
 }
 
-// CachedBytes estimates the memory held by this set's cached translation
-// operators. Level operator sets are shared process-wide, so sets over
-// the same (kernel, degree, tolerance, geometry scale) each attribute
-// the same matrices — a conservative overestimate for byte-bounded plan
-// caches.
+// CachedBytes estimates this set's share of the cached translation
+// operators. Level operator sets are shared process-wide; each entry's
+// bytes are divided by its refcount (the number of live sets holding
+// it), so summing CachedBytes across all live plans attributes every
+// shared byte exactly once instead of once per plan. A set that mapped
+// an entry after Close (or a racing release) falls back to full
+// attribution — conservative, never under-counting.
 func (s *Set) CachedBytes() int64 {
 	s.mu.Lock()
 	levels := make([]*levelOps, 0, len(s.levels))
@@ -212,15 +243,21 @@ func (s *Set) CachedBytes() int64 {
 	s.mu.Unlock()
 	var b int64
 	for _, l := range levels {
+		var lb int64
 		l.mu.Lock()
-		b += denseBytes(l.pinvUp) + denseBytes(l.pinvDown)
+		lb += denseBytes(l.pinvUp) + denseBytes(l.pinvDown)
 		for o := 0; o < 8; o++ {
-			b += denseBytes(l.m2m[o]) + denseBytes(l.l2l[o])
+			lb += denseBytes(l.m2m[o]) + denseBytes(l.l2l[o])
 		}
 		for _, m := range l.m2l {
-			b += denseBytes(m)
+			lb += denseBytes(m)
 		}
 		l.mu.Unlock()
+		refs := l.refs.Load()
+		if refs < 1 {
+			refs = 1
+		}
+		b += lb / refs
 	}
 	return b
 }

@@ -21,7 +21,15 @@
 // Basic use:
 //
 //	ev, err := kifmm.NewEvaluator(points, points, kifmm.Options{Kernel: kifmm.Laplace()})
-//	pot, err := ev.Evaluate(densities)
+//	pot, err := ev.EvaluateCtx(ctx, densities)
+//
+// The API is context-first: NewEvaluatorCtx, EvaluateCtx,
+// EvaluateBatchCtx and SolveGMRESCtx are the real implementations —
+// cancelling the context aborts the work within one FMM pass and
+// returns a typed error (see Error and the Err* sentinels in errors.go)
+// that satisfies both kifmm.ErrCanceled and context.Canceled. The
+// ctx-free entry points are thin context.Background() wrappers kept for
+// callers that do not need cancellation.
 //
 // Evaluation fans its per-box work over a goroutine pool
 // (Options.Workers, default GOMAXPROCS) and is read-only on the
@@ -35,6 +43,8 @@
 package kifmm
 
 import (
+	"context"
+
 	"repro/internal/direct"
 	"repro/internal/fmm"
 	"repro/internal/geom"
@@ -133,9 +143,20 @@ type Evaluator struct {
 }
 
 // NewEvaluator builds the octree and operators over src and trg, flat
-// (x0,y0,z0,x1,...) coordinate slices which may be the same slice.
+// (x0,y0,z0,x1,...) coordinate slices which may be the same slice. It
+// is NewEvaluatorCtx with context.Background().
 func NewEvaluator(src, trg []float64, opt Options) (*Evaluator, error) {
-	inner, err := fmm.New(src, trg, opt.fmmOptions())
+	return NewEvaluatorCtx(context.Background(), src, trg, opt)
+}
+
+// NewEvaluatorCtx is the context-aware plan build. Construction is the
+// expensive amortized step (octree plus translation-operator setup), so
+// ctx is checked at each internal stage boundary; a caller that gives
+// up — a disconnecting service client, a deadline — abandons the build
+// with a typed cancellation error instead of paying for a plan nobody
+// will use.
+func NewEvaluatorCtx(ctx context.Context, src, trg []float64, opt Options) (*Evaluator, error) {
+	inner, err := fmm.NewCtx(ctx, src, trg, opt.fmmOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -144,9 +165,19 @@ func NewEvaluator(src, trg []float64, opt Options) (*Evaluator, error) {
 
 // Evaluate computes the potentials induced by den (SourceDim components
 // per source, input order); the result has TargetDim components per
-// target in input order.
+// target in input order. It is EvaluateCtx with context.Background().
 func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
 	return e.inner.Evaluate(den)
+}
+
+// EvaluateCtx is Evaluate under a context. The context is threaded into
+// every pass of the sweep and checked at each dispatch, level barrier
+// and work-chunk claim, so a cancellation or deadline aborts the
+// evaluation within one pass; the returned error then satisfies
+// errors.Is against both ErrCanceled (or ErrDeadlineExceeded) and the
+// matching context sentinel.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, den []float64) ([]float64, error) {
+	return e.inner.EvaluateCtx(ctx, den)
 }
 
 // EvaluateStats is Evaluate returning this call's stage breakdown
@@ -154,6 +185,11 @@ func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
 // on Stats().
 func (e *Evaluator) EvaluateStats(den []float64) ([]float64, fmm.Stats, error) {
 	return e.inner.EvaluateStats(den)
+}
+
+// EvaluateStatsCtx is EvaluateCtx returning this call's stage breakdown.
+func (e *Evaluator) EvaluateStatsCtx(ctx context.Context, den []float64) ([]float64, fmm.Stats, error) {
+	return e.inner.EvaluateStatsCtx(ctx, den)
 }
 
 // EvaluateBatch evaluates several density vectors in one sweep of the
@@ -165,10 +201,22 @@ func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
 	return e.inner.EvaluateBatch(dens)
 }
 
+// EvaluateBatchCtx is EvaluateBatch under a context; see EvaluateCtx
+// for the cancellation contract.
+func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, dens [][]float64) ([][]float64, error) {
+	return e.inner.EvaluateBatchCtx(ctx, dens)
+}
+
 // EvaluateBatchStats is EvaluateBatch returning the aggregate stage
 // breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, fmm.Stats, error) {
 	return e.inner.EvaluateBatchStats(dens)
+}
+
+// EvaluateBatchStatsCtx is EvaluateBatchCtx returning the aggregate
+// stage breakdown of the whole batch.
+func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64) ([][]float64, fmm.Stats, error) {
+	return e.inner.EvaluateBatchStatsCtx(ctx, dens)
 }
 
 // Stats returns the per-stage timing and flop breakdown of the most
@@ -178,10 +226,19 @@ func (e *Evaluator) Stats() fmm.Stats { return e.inner.Stats() }
 // Workers returns the number of goroutines one evaluation uses.
 func (e *Evaluator) Workers() int { return e.inner.Workers() }
 
-// FootprintBytes estimates the resident memory of the prepared plan
-// (tree plus cached operators); the evaluation service uses it for
-// byte-bounded plan caching.
+// FootprintBytes estimates the resident memory of the prepared plan:
+// the octree plus this plan's share of the process-global operator
+// caches (shared operators are refcounted, so summing FootprintBytes
+// over live plans counts each byte once). The evaluation service uses
+// it for byte-bounded plan caching.
 func (e *Evaluator) FootprintBytes() int64 { return e.inner.FootprintBytes() }
+
+// Close releases the plan's claim on the shared operator caches for
+// footprint accounting. The evaluator remains usable afterwards —
+// Close only moves shared-byte attribution to the plans still open.
+// Call it when discarding an evaluator whose footprint should no longer
+// count (e.g. on cache eviction); idempotent.
+func (e *Evaluator) Close() { e.inner.Close() }
 
 // Boxes returns the number of octree boxes (diagnostics).
 func (e *Evaluator) Boxes() int { return len(e.inner.Tree.Boxes) }

@@ -1,14 +1,33 @@
 package kifmm
 
-import "repro/internal/krylov"
+import (
+	"context"
+
+	"repro/internal/krylov"
+)
 
 // The paper's applications wrap the FMM in a Krylov method: "at each
 // time step we solve a linear system that requires tens of interaction
 // calculations". These re-exports provide the solvers (the paper used
-// PETSc's).
+// PETSc's). The ctx-first variants are the real implementations: the
+// context is checked before every operator application and handed to
+// the operator itself, so cancelling mid-solve aborts the in-flight FMM
+// evaluation within one pass instead of finishing the iteration sweep.
 
 // MatVec is a black-box operator application dst = A*x.
 type MatVec = krylov.MatVec
+
+// MatVecCtx is a context-aware operator application dst = A*x; a
+// returned error aborts the solve. Evaluator.EvaluateCtx wraps directly:
+//
+//	mv := func(ctx context.Context, dst, x []float64) error {
+//		pot, err := ev.EvaluateCtx(ctx, x)
+//		if err == nil {
+//			copy(dst, pot)
+//		}
+//		return err
+//	}
+type MatVecCtx = krylov.MatVecCtx
 
 // SolverOptions control the Krylov iterations.
 type SolverOptions = krylov.Options
@@ -20,22 +39,47 @@ type SolverResult = krylov.Result
 // ys[i] = A*xs[i] — the shape of Evaluator.EvaluateBatch.
 type BatchMatVec = krylov.BatchMatVec
 
-// SolveGMRES solves A x = b by restarted GMRES; x is the initial guess
-// and is overwritten with the solution.
+// BatchMatVecCtx is the context-aware batched operator application —
+// the shape of Evaluator.EvaluateBatchCtx.
+type BatchMatVecCtx = krylov.BatchMatVecCtx
+
+// SolveGMRESCtx solves A x = b by restarted GMRES under ctx; x is the
+// initial guess and is overwritten with the current iterate. On
+// cancellation the partial result is returned with an error satisfying
+// errors.Is against both ErrCanceled (or ErrDeadlineExceeded) and the
+// matching context sentinel.
+func SolveGMRESCtx(ctx context.Context, apply MatVecCtx, b, x []float64, opt SolverOptions) (SolverResult, error) {
+	return krylov.GMRESCtx(ctx, apply, b, x, opt)
+}
+
+// SolveGMRES solves A x = b by restarted GMRES; it is SolveGMRESCtx
+// with context.Background() and a ctx-oblivious operator.
 func SolveGMRES(apply MatVec, b, x []float64, opt SolverOptions) (SolverResult, error) {
 	return krylov.GMRES(apply, b, x, opt)
 }
 
-// SolveGMRESBatch solves many systems sharing one operator (e.g. a
+// SolveGMRESBatchCtx solves many systems sharing one operator (e.g. a
 // boundary integral equation with many boundary conditions), running
 // the per-system GMRES iterations in lockstep so each round of operator
 // applications becomes a single batched call. With an FMM operator the
 // tree traversal and near-field kernel evaluations are then paid once
-// per round instead of once per system; see Evaluator.EvaluateBatch.
+// per round instead of once per system; see Evaluator.EvaluateBatchCtx.
 // xs[i] is the initial guess of system i, overwritten with its
-// solution.
+// solution. Cancelling ctx aborts every in-flight system.
+func SolveGMRESBatchCtx(ctx context.Context, apply BatchMatVecCtx, bs, xs [][]float64, opt SolverOptions) ([]SolverResult, error) {
+	return krylov.GMRESBatchCtx(ctx, apply, bs, xs, opt)
+}
+
+// SolveGMRESBatch is SolveGMRESBatchCtx with context.Background() and a
+// ctx-oblivious operator.
 func SolveGMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt SolverOptions) ([]SolverResult, error) {
 	return krylov.GMRESBatch(apply, bs, xs, opt)
+}
+
+// SolveBiCGSTABCtx solves A x = b by BiCGSTAB under ctx; cancellation
+// semantics match SolveGMRESCtx.
+func SolveBiCGSTABCtx(ctx context.Context, apply MatVecCtx, b, x []float64, opt SolverOptions) (SolverResult, error) {
+	return krylov.BiCGSTABCtx(ctx, apply, b, x, opt)
 }
 
 // SolveBiCGSTAB solves A x = b by BiCGSTAB.
