@@ -192,6 +192,213 @@ func TestPlan3AnisotropicRoundtrip(t *testing.T) {
 	}
 }
 
+// smoothLengths lists every 5-smooth length <= 32 — the complete set of
+// line lengths the FMM's padded convolution grids can produce for
+// practical surface degrees.
+func smoothLengths() []int {
+	var ns []int
+	for n := 1; n <= 32; n++ {
+		if NextSmooth(n) == n {
+			ns = append(ns, n)
+		}
+	}
+	return ns
+}
+
+// TestForwardAllSmoothLengths is the property test of the full complex
+// path across every 5-smooth length the FMM can request: the mixed-radix
+// recursion (all hardcoded radix-2/3/4/5 butterflies) must match the
+// O(n²) reference transform.
+func TestForwardAllSmoothLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range smoothLengths() {
+		p := NewPlan(n)
+		x := randomSignal(rng, n)
+		got := make([]complex128, n)
+		p.Forward(got, x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-12*float64(n) {
+			t.Errorf("n=%d: max error %v", n, e)
+		}
+		back := make([]complex128, n)
+		p.Inverse(back, got)
+		if e := maxErr(back, x); e > 1e-12*float64(n) {
+			t.Errorf("n=%d: roundtrip error %v", n, e)
+		}
+	}
+}
+
+// TestForwardRealMatchesComplex validates the r2c path against the full
+// complex transform of the widened input for every 5-smooth length <= 32
+// (both the even-length packed path and the odd-length fallback), plus a
+// sample of non-smooth lengths for generality.
+func TestForwardRealMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lengths := append(smoothLengths(), 7, 11, 14, 21, 33, 35)
+	for _, n := range lengths {
+		p := NewPlan(n)
+		x := make([]float64, n)
+		wide := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			wide[i] = complex(x[i], 0)
+		}
+		want := make([]complex128, n)
+		p.Forward(want, wide)
+		got := make([]complex128, p.HalfLen())
+		p.ForwardReal(got, x)
+		if e := maxErr(got, want[:len(got)]); e > 1e-12*float64(n) {
+			t.Errorf("n=%d: r2c error %v", n, e)
+		}
+		// And the independent coefficients really determine the rest.
+		for j := p.HalfLen(); j < n; j++ {
+			c := got[n-j]
+			if cmplx.Abs(want[j]-complex(real(c), -imag(c))) > 1e-12*float64(n) {
+				t.Errorf("n=%d: conjugate symmetry broken at %d", n, j)
+			}
+		}
+		// c2r inverse closes the roundtrip.
+		back := make([]float64, n)
+		p.InverseReal(back, got)
+		for j := range back {
+			if math.Abs(back[j]-x[j]) > 1e-12*float64(n) {
+				t.Errorf("n=%d: real roundtrip error %v at %d", n, back[j]-x[j], j)
+			}
+		}
+	}
+}
+
+// TestRealConvolutionAllSmoothLengths: the half spectrum must support
+// the convolution theorem — the product of two r2c spectra
+// inverse-transforms to the circular convolution of the real inputs.
+func TestRealConvolutionAllSmoothLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range smoothLengths() {
+		p := NewPlan(n)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		direct := make([]float64, n)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				direct[k] += a[mod(k-j, n)] * b[j]
+			}
+		}
+		fa := make([]complex128, p.HalfLen())
+		fb := make([]complex128, p.HalfLen())
+		p.ForwardReal(fa, a)
+		p.ForwardReal(fb, b)
+		for i := range fa {
+			fa[i] *= fb[i]
+		}
+		got := make([]float64, n)
+		p.InverseReal(got, fa)
+		for i := range got {
+			if math.Abs(got[i]-direct[i]) > 1e-10*float64(n) {
+				t.Errorf("n=%d: real convolution error %v at %d", n, got[i]-direct[i], i)
+			}
+		}
+	}
+}
+
+// TestPlan3RMatchesConvolve3 validates the 3-D half-spectrum transform
+// against the direct convolution reference on real inputs, covering an
+// even and an odd grid edge.
+func TestPlan3RMatchesConvolve3(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, m := range []int{4, 5, 6, 9} {
+		p := NewPlan3R(m)
+		n3 := m * m * m
+		a := make([]float64, n3)
+		b := make([]float64, n3)
+		ca := make([]complex128, n3)
+		cb := make([]complex128, n3)
+		for i := 0; i < n3; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			ca[i] = complex(a[i], 0)
+			cb[i] = complex(b[i], 0)
+		}
+		// Roundtrip.
+		fa := make([]complex128, p.FreqLen())
+		p.Forward(fa, a)
+		back := make([]float64, n3)
+		work := append([]complex128(nil), fa...)
+		p.Inverse(back, work)
+		for i := range back {
+			if math.Abs(back[i]-a[i]) > 1e-11 {
+				t.Fatalf("m=%d: 3-D real roundtrip error %v at %d", m, back[i]-a[i], i)
+			}
+		}
+		// Convolution theorem against the direct reference.
+		fb := make([]complex128, p.FreqLen())
+		p.Forward(fb, b)
+		for i := range fa {
+			fa[i] *= fb[i]
+		}
+		got := make([]float64, n3)
+		p.Inverse(got, fa)
+		want := Convolve3(ca, cb, m)
+		for i := range got {
+			if math.Abs(got[i]-real(want[i])) > 1e-9 {
+				t.Errorf("m=%d: 3-D real convolution error %v at %d", m, got[i]-real(want[i]), i)
+			}
+		}
+	}
+}
+
+// TestPlan3RConcurrency: one Plan3R must serve concurrent transforms
+// (the FMM fans box transforms out over a worker pool).
+func TestPlan3RConcurrency(t *testing.T) {
+	p := NewPlan3R(6)
+	rng := rand.New(rand.NewSource(13))
+	src := make([]float64, p.RealLen())
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	want := make([]complex128, p.FreqLen())
+	p.Forward(want, src)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			got := make([]complex128, p.FreqLen())
+			ok := true
+			for i := 0; i < 50; i++ {
+				p.Forward(got, src)
+				if maxErr(got, want) != 0 {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent real transforms disagree")
+		}
+	}
+}
+
+// TestScratchLen pins the scratch sizing: zero for 5-smooth lengths
+// (hardcoded butterflies need no gather scratch), the largest prime
+// factor >= 7 otherwise.
+func TestScratchLen(t *testing.T) {
+	for _, n := range smoothLengths() {
+		if s := NewPlan(n).ScratchLen(); s != 0 {
+			t.Errorf("ScratchLen(%d) = %d, want 0", n, s)
+		}
+	}
+	cases := map[int]int{7: 7, 14: 7, 49: 7, 22: 11, 77: 11, 13: 13}
+	for n, want := range cases {
+		if s := NewPlan(n).ScratchLen(); s != want {
+			t.Errorf("ScratchLen(%d) = %d, want %d", n, s, want)
+		}
+	}
+}
+
 func TestNextSmooth(t *testing.T) {
 	cases := map[int]int{1: 1, 2: 2, 7: 8, 11: 12, 13: 15, 16: 16, 17: 18, 31: 32, 121: 125}
 	for in, want := range cases {

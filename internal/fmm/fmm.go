@@ -180,8 +180,9 @@ func New(src, trg []float64, opt Options) (*Evaluator, error) {
 }
 
 // NewCtx is the context-aware plan build: ctx is checked before and
-// after the expensive stages (octree construction, operator setup), so
-// an impatient caller abandons the build at the next stage boundary.
+// after the expensive stages and inside the octree construction's
+// per-level loops (tree.BuildCtx), so an impatient caller abandons even
+// a pathological tree build within one level.
 func NewCtx(ctx context.Context, src, trg []float64, opt Options) (*Evaluator, error) {
 	if opt.Kernel == nil {
 		return nil, errs.New(errs.CodeInvalidInput, "fmm: Options.Kernel is required")
@@ -190,9 +191,11 @@ func NewCtx(ctx context.Context, src, trg []float64, opt Options) (*Evaluator, e
 		return nil, errs.FromContext(err)
 	}
 	opt = ApplyDefaults(opt)
-	tr, err := tree.Build(src, trg, tree.Config{MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth})
+	tr, err := tree.BuildCtx(ctx, src, trg, tree.Config{MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth})
 	if err != nil {
-		return nil, errs.Typed(err, errs.CodeInvalidInput)
+		// Cancellation keeps its typed code; anything else the tree
+		// rejected is malformed input.
+		return nil, errs.Typed(errs.FromContext(err), errs.CodeInvalidInput)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, errs.FromContext(err)
@@ -347,7 +350,7 @@ type scratch struct {
 	check []float64
 	pts   []float64
 	mat   []float64
-	acc   [][]complex128
+	acc   []complex128
 }
 
 func (sc *scratch) checkBuf(n int) []float64 {
@@ -371,11 +374,17 @@ func (sc *scratch) matBuf(n int) []float64 {
 	return sc.mat[:n]
 }
 
-func (sc *scratch) accBuf(f *translate.FFTM2L) [][]complex128 {
-	if sc.acc == nil {
-		sc.acc = f.NewAccumulator()
+// accBuf returns a zeroed flat accumulator of n Fourier grids (the
+// rhs-major AccumulateBatch layout).
+func (sc *scratch) accBuf(n int) []complex128 {
+	if cap(sc.acc) < n {
+		sc.acc = make([]complex128, n)
 	}
-	return sc.acc
+	acc := sc.acc[:n]
+	for i := range acc {
+		acc[i] = 0
+	}
+	return acc
 }
 
 // evaluate is the engine shared by all Evaluate variants. ctx flows into
@@ -676,13 +685,43 @@ func (r *runState) applyM2LDense(ctx context.Context, l int) error {
 	})
 }
 
+// rhsChunk picks how many right-hand sides the V-list sweep processes
+// per pass: enough to amortize one kernel-tensor load across the whole
+// chunk (the win of the rhs-major layout), bounded so the in-flight
+// Fourier grids of a level stay within a fixed memory budget. The
+// choice depends only on the plan and the batch — never on the worker
+// count — so batched results stay deterministic across machines.
+func rhsChunk(nrhs, nused, sd, gl int) int {
+	// Tensor-load amortization saturates long before 16 RHS; past that
+	// the extra grids only cost memory and cache pressure.
+	const maxChunk = 16
+	// ~256 MiB of simultaneous source grids (16 bytes per coefficient).
+	const budgetBytes = 256 << 20
+	c := nrhs
+	if c > maxChunk {
+		c = maxChunk
+	}
+	if per := int64(nused) * int64(sd) * int64(gl) * 16; per > 0 {
+		if b := int(budgetBytes / per); b < c {
+			c = b
+		}
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // applyM2LFFT batches the level's V-list translations through the
-// Fourier path: one forward FFT per contributing source box, Hadamard
-// accumulation per (target, source) pair, one inverse FFT per target.
-// The forward sweep and the accumulate/extract sweep each fan out over
-// the pool; a barrier between them guarantees every grid is ready. The
-// batch is walked one RHS at a time so the in-flight Fourier grids stay
-// at single-RHS size (one grid set per contributing source box).
+// Fourier path: one forward FFT per contributing source box per RHS,
+// Hadamard accumulation per (target, source) pair, one inverse FFT per
+// target per RHS. The forward sweep and the accumulate/extract sweep
+// each fan out over the pool; a barrier between them guarantees every
+// grid is ready. The batch is walked in rhs chunks with rhs-major grids
+// (see rhsChunk): within a chunk each kernel tensor is loaded once per
+// (target, source) pair and applied to every RHS while cache-hot, which
+// is what makes batched evaluation superlinear in FFT-dominated
+// configurations.
 func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 	t := r.e.Tree
 	f := r.e.fft
@@ -712,18 +751,23 @@ func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 	if len(used) == 0 {
 		return nil
 	}
-	grids := make([][][]complex128, len(used))
-	for q := 0; q < r.nrhs; q++ {
-		// Forward-transform every contributing source box (grids are
-		// reused across right-hand sides).
+	chunk := rhsChunk(r.nrhs, len(used), sd, gl)
+	grids := make([][]complex128, len(used))
+	for q0 := 0; q0 < r.nrhs; q0 += chunk {
+		nq := chunk
+		if q0+nq > r.nrhs {
+			nq = r.nrhs - q0
+		}
+		// Forward-transform every contributing source box for this rhs
+		// chunk (grid buffers are reused across chunks).
 		err := r.pool.ForRange(ctx, 0, len(used), func(w, i int) {
 			sc := &r.ws[w]
 			start := time.Now()
 			if grids[i] == nil {
-				grids[i] = f.NewSourceGrids()
+				grids[i] = make([]complex128, chunk*sd*gl)
 			}
-			f.ForwardDensity(r.phiU[used[i]][q*ne:(q+1)*ne], grids[i])
-			sc.stats.FlopsDownV += int64(5 * gl * sd) // ~5 n log n per grid
+			f.ForwardDensityBatch(r.phiU[used[i]][q0*ne:(q0+nq)*ne], nq, grids[i])
+			sc.stats.FlopsDownV += int64(5*gl*sd) * int64(nq) // ~5 n log n per grid
 			sc.stats.DownV += time.Since(start)
 		})
 		if err != nil {
@@ -736,8 +780,7 @@ func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 			}
 			sc := &r.ws[w]
 			start := time.Now()
-			acc := sc.accBuf(f)
-			f.ResetAccumulator(acc)
+			acc := sc.accBuf(nq * td * gl)
 			bx, by, bz := b.Key.Decode()
 			any := false
 			for _, a := range b.V {
@@ -747,14 +790,16 @@ func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 				}
 				ax, ay, az := t.Boxes[a].Key.Decode()
 				off := [3]int{int(bx) - int(ax), int(by) - int(ay), int(bz) - int(az)}
-				f.Accumulate(acc, grids[gi], l, off)
-				sc.stats.FlopsDownV += int64(8 * gl * sd * td)
+				f.AccumulateBatch(acc, grids[gi][:nq*sd*gl], nq, l, off)
+				sc.stats.FlopsDownV += int64(8*gl*sd*td) * int64(nq)
 				any = true
 			}
 			if any {
 				check := r.getCheck(int32(bi))
-				f.Extract(acc, l, check[q*nc:(q+1)*nc])
-				sc.stats.FlopsDownV += int64(5 * gl * td)
+				for q := 0; q < nq; q++ {
+					f.ExtractGrids(acc[q*td*gl:(q+1)*td*gl], l, check[(q0+q)*nc:(q0+q+1)*nc])
+				}
+				sc.stats.FlopsDownV += int64(5*gl*td) * int64(nq)
 			}
 			sc.stats.DownV += time.Since(start)
 		})

@@ -251,3 +251,122 @@ func TestHTTPWireCodes(t *testing.T) {
 		t.Errorf("degree bomb: status %d code %q, want 413 %q", resp.StatusCode, e.Code, errs.CodePlanTooLarge)
 	}
 }
+
+// TestCoalescedWaiterSurvivesInitiatorDisconnect is the singleflight
+// detachment acceptance test: the caller that initiated a plan build
+// disconnects mid-build, and a coalesced waiter still receives the
+// finished plan — no cancellation error, no retry, no second build.
+func TestCoalescedWaiterSurvivesInitiatorDisconnect(t *testing.T) {
+	svc := New(Config{})
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	svc.buildBarrier = func(key string) {
+		started <- key
+		<-release
+	}
+	req := cloudRequest(21, 400)
+
+	ictx, icancel := context.WithCancel(context.Background())
+	initiatorErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Register(ictx, req)
+		initiatorErr <- err
+	}()
+	<-started // the build goroutine is running and blocked on the barrier
+
+	type result struct {
+		info PlanInfo
+		err  error
+	}
+	waiterRes := make(chan result, 1)
+	go func() {
+		info, err := svc.Register(bg, req)
+		waiterRes <- result{info, err}
+	}()
+	// The waiter must have coalesced onto the in-flight build before the
+	// initiator walks away.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().BuildCoalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never coalesced onto the in-flight build")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	icancel()
+	if err := <-initiatorErr; !errors.Is(err, kifmm.ErrCanceled) {
+		t.Fatalf("initiator err = %v, want ErrCanceled", err)
+	}
+	close(release) // let the (now initiator-less) build finish
+
+	r := <-waiterRes
+	if r.err != nil {
+		t.Fatalf("coalesced waiter err = %v, want the finished plan", r.err)
+	}
+	if r.info.ID == "" {
+		t.Fatal("coalesced waiter got an empty plan id")
+	}
+	m := svc.Metrics()
+	if m.PlansBuilt != 1 || m.CacheMisses != 1 {
+		t.Errorf("built=%d misses=%d, want exactly one build with no retry", m.PlansBuilt, m.CacheMisses)
+	}
+	// The plan is cached and usable.
+	if _, _, err := svc.Evaluate(bg, r.info.ID, densitiesFor(req, r.info.SourceDim)); err != nil {
+		t.Errorf("evaluation on the surviving plan failed: %v", err)
+	}
+}
+
+// TestBuildCancelledWhenAllWaitersLeave: when the initiator disconnects
+// and no one has coalesced, the detached build is cancelled instead of
+// running to completion for nobody, and nothing is cached.
+func TestBuildCancelledWhenAllWaitersLeave(t *testing.T) {
+	svc := New(Config{})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc.buildBarrier = func(key string) {
+		started <- key
+		<-release
+	}
+	req := cloudRequest(22, 400)
+
+	ictx, icancel := context.WithCancel(context.Background())
+	initiatorErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Register(ictx, req)
+		initiatorErr <- err
+	}()
+	<-started
+	icancel()
+	if err := <-initiatorErr; !errors.Is(err, kifmm.ErrCanceled) {
+		t.Fatalf("initiator err = %v, want ErrCanceled", err)
+	}
+	close(release)
+
+	// The orphaned build sees its cancelled context and settles without
+	// caching anything.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.mu.Lock()
+		n := len(svc.building)
+		svc.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("orphaned build never settled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := svc.Plans(); n != 0 {
+		t.Errorf("orphaned build cached %d plans, want 0", n)
+	}
+	if m := svc.Metrics(); m.PlansBuilt != 0 {
+		t.Errorf("PlansBuilt = %d, want 0 (the build was cancelled)", m.PlansBuilt)
+	}
+
+	// A fresh registration afterwards builds cleanly.
+	svc.buildBarrier = nil
+	if _, err := svc.Register(bg, req); err != nil {
+		t.Fatalf("register after orphaned build: %v", err)
+	}
+}

@@ -85,10 +85,47 @@ func (c Config) withDefaults() Config {
 
 // buildCall is one in-flight plan construction; concurrent Register
 // calls for the same key wait on done instead of building again.
+//
+// The build itself runs on its own goroutine under a context detached
+// from every caller: each interested caller (the initiator and every
+// coalesced waiter) holds a reference, and only when the last of them
+// walks away is the build cancelled. An initiator disconnect therefore
+// no longer kills the build for surviving waiters — they get the plan,
+// not a cancellation error and a wasted rebuild.
 type buildCall struct {
 	done chan struct{}
 	plan *plan
 	err  error
+
+	mu       sync.Mutex
+	waiters  int
+	orphaned bool               // waiters hit 0: the build is being cancelled
+	cancel   context.CancelFunc // cancels the detached build context
+}
+
+// join registers interest in the build's outcome. It reports false when
+// the call is already orphaned (every earlier waiter gave up and the
+// build's cancellation is in flight) — the caller must start a fresh
+// build instead of inheriting a doomed one.
+func (c *buildCall) join() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.orphaned {
+		return false
+	}
+	c.waiters++
+	return true
+}
+
+// leave withdraws interest; the last waiter out cancels the build.
+func (c *buildCall) leave() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.waiters--
+	if c.waiters == 0 {
+		c.orphaned = true
+		c.cancel()
+	}
 }
 
 // Service owns the plan cache, the singleflight build table and the
@@ -99,6 +136,11 @@ type Service struct {
 	mu       sync.Mutex
 	cache    *planCache
 	building map[string]*buildCall
+
+	// buildBarrier, when non-nil, runs at the start of every build
+	// goroutine — a test seam for orchestrating singleflight scenarios
+	// (block a build until waiters have joined or cancelled).
+	buildBarrier func(key string)
 
 	sem chan struct{} // worker-pool slots
 
@@ -140,11 +182,9 @@ func (s *Service) Register(ctx context.Context, req PlanRequest) (PlanInfo, erro
 // immune to the plan being LRU-evicted between registration and
 // evaluation.
 //
-// The build runs under the initiating caller's ctx: if that caller
-// disconnects mid-build, the build aborts and any coalesced waiters
-// receive the typed cancellation error (their retry starts a fresh
-// build). A waiter's own ctx only abandons its wait — the build it
-// coalesced onto keeps running for the others.
+// The build runs detached from any single caller's ctx (see buildCall):
+// a caller's own ctx only abandons its wait, and the build is cancelled
+// only when the initiator and every coalesced waiter have walked away.
 func (s *Service) register(ctx context.Context, req PlanRequest) (*plan, bool, error) {
 	src, trg, opt, spec, key, err := s.resolve(req)
 	if err != nil {
@@ -157,43 +197,56 @@ func (s *Service) register(ctx context.Context, req PlanRequest) (*plan, bool, e
 		s.mu.Unlock()
 		return p, true, nil
 	}
-	if c, ok := s.building[key]; ok {
+	if c, ok := s.building[key]; ok && c.join() {
 		s.coalesced.Add(1)
 		s.mu.Unlock()
-		select {
-		case <-c.done:
-		case <-ctx.Done():
-			return nil, false, errs.FromContext(ctx.Err())
-		}
-		if c.err != nil {
-			return nil, false, c.err
-		}
-		return c.plan, true, nil
+		return s.await(ctx, c, true)
 	}
+	// No build in flight (or only an orphaned one whose cancellation is
+	// racing its cleanup): start a fresh one. Replacing the map entry is
+	// safe — the orphaned build's cleanup only deletes its own entry.
 	s.misses.Add(1)
-	c := &buildCall{done: make(chan struct{})}
+	bctx, cancel := context.WithCancel(context.Background())
+	c := &buildCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	s.building[key] = c
 	s.mu.Unlock()
 
-	s.runBuild(ctx, key, c, src, trg, opt, spec)
-
-	if c.err != nil {
-		return nil, false, c.err
-	}
-	return c.plan, false, nil
+	go s.runBuild(bctx, key, c, src, trg, opt, spec)
+	return s.await(ctx, c, false)
 }
 
-// runBuild executes one singleflight plan construction. All cleanup —
-// worker-slot release, building-table removal, closing c.done — runs in
-// defers so a panicking build cannot leak a pool slot or leave waiters
-// blocked on c.done forever.
+// await blocks until the coalesced build finishes or the caller's own
+// ctx ends; giving up withdraws this caller's interest (the last one
+// out cancels the build).
+func (s *Service) await(ctx context.Context, c *buildCall, coalesced bool) (*plan, bool, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		return c.plan, coalesced, nil
+	case <-ctx.Done():
+		c.leave()
+		return nil, false, errs.FromContext(ctx.Err())
+	}
+}
+
+// runBuild executes one singleflight plan construction on its own
+// goroutine. All cleanup — worker-slot release, building-table removal,
+// closing c.done — runs in defers so a panicking build cannot leak a
+// pool slot or leave waiters blocked on c.done forever. ctx is the
+// detached build context, cancelled only when every interested caller
+// has left.
 func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, trg []float64, opt kifmm.Options, spec kernels.Spec) {
+	defer c.cancel() // release the detached context once the build settles
 	defer func() {
 		if r := recover(); r != nil {
 			c.plan, c.err = nil, errs.Newf(errs.CodeInternal, "service: plan build panicked: %v", r)
 		}
 		s.mu.Lock()
-		delete(s.building, key)
+		if s.building[key] == c {
+			delete(s.building, key)
+		}
 		if c.err == nil {
 			s.built.Add(1)
 			s.buildNS.Add(c.plan.buildNS)
@@ -204,10 +257,14 @@ func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, t
 		s.mu.Unlock()
 		close(c.done)
 	}()
+	if s.buildBarrier != nil {
+		s.buildBarrier(key)
+	}
 	// Builds are the expensive step (octree + operator setup); bound
 	// their concurrency with the same worker pool as evaluations so a
 	// burst of distinct registrations cannot saturate the machine. The
-	// wait honors ctx — a caller that gives up leaves the queue.
+	// wait honors the detached ctx — a build every caller abandoned
+	// leaves the queue.
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():

@@ -1,6 +1,10 @@
 package tree
 
-import "repro/internal/morton"
+import (
+	"context"
+
+	"repro/internal/morton"
+)
 
 // Adjacent reports whether the closed cells of boxes a and b intersect
 // (share at least a face, edge or corner point). Boxes at different
@@ -28,10 +32,17 @@ func segTouch(a uint32, sa uint, b uint32, sb uint) bool {
 }
 
 // buildLists fills the U, V, W and X lists of every box, using the
-// paper's definitions verbatim (Section 3.1).
-func (t *Tree) buildLists() {
+// paper's definitions verbatim (Section 3.1). List construction costs
+// as much as box construction on large trees, so ctx is checked on the
+// same buildCheckEvery cadence.
+func (t *Tree) buildLists(ctx context.Context) error {
 	colleagues := t.computeColleagues()
 	for bi := range t.Boxes {
+		if bi%buildCheckEvery == buildCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		b := &t.Boxes[bi]
 		// V list: children of the parent's neighbors that are not
 		// adjacent to B. Exists for every box with a parent.
@@ -66,6 +77,7 @@ func (t *Tree) buildLists() {
 			t.Boxes[w].X = append(t.Boxes[w].X, int32(bi))
 		}
 	}
+	return nil
 }
 
 // computeColleagues returns, for every box, the existing same-level

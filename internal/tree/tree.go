@@ -15,6 +15,7 @@
 package tree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"unsafe"
@@ -90,8 +91,20 @@ type keyed struct {
 }
 
 // Build constructs the adaptive octree over src and trg (flat x,y,z
-// coordinate slices) and computes all four interaction lists.
+// coordinate slices) and computes all four interaction lists. It is
+// BuildCtx with context.Background().
 func Build(src, trg []float64, cfg Config) (*Tree, error) {
+	return BuildCtx(context.Background(), src, trg, cfg)
+}
+
+// BuildCtx is the context-aware tree construction: ctx is checked
+// between the expensive stages (Morton sort, box construction,
+// interaction lists) and inside the per-level loops of the latter two,
+// so cancelling a pathological build (hundreds of millions of points,
+// or an adversarial deep tree) lands within one level instead of after
+// the whole construction. On cancellation the partial tree is discarded
+// and ctx.Err() is returned.
+func BuildCtx(ctx context.Context, src, trg []float64, cfg Config) (*Tree, error) {
 	if len(src)%3 != 0 || len(trg)%3 != 0 {
 		return nil, fmt.Errorf("tree: coordinate slices must have length divisible by 3")
 	}
@@ -100,6 +113,9 @@ func Build(src, trg []float64, cfg Config) (*Tree, error) {
 	}
 	if cfg.MaxDepth <= 0 || cfg.MaxDepth > morton.MaxLevel {
 		cfg.MaxDepth = morton.MaxLevel
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	t := &Tree{MaxPoints: cfg.MaxPoints}
 	if cfg.HalfWidth > 0 {
@@ -112,10 +128,17 @@ func Build(src, trg []float64, cfg Config) (*Tree, error) {
 	}
 	srcKeys := sortByKey(src, t.Center, t.HalfWidth)
 	trgKeys := sortByKey(trg, t.Center, t.HalfWidth)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.SrcPoints, t.SrcPerm = permute(src, srcKeys)
 	t.TrgPoints, t.TrgPerm = permute(trg, trgKeys)
-	t.build(srcKeys, trgKeys, cfg.MaxDepth)
-	t.buildLists()
+	if err := t.build(ctx, srcKeys, trgKeys, cfg.MaxDepth); err != nil {
+		return nil, err
+	}
+	if err := t.buildLists(ctx); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -174,9 +197,16 @@ func permute(pts []float64, ks []keyed) ([]float64, []int32) {
 	return out, perm
 }
 
+// buildCheckEvery is how many boxes the per-level construction loops
+// process between context checks: frequent enough that cancellation
+// lands promptly even on a single enormous level, rare enough that the
+// atomic load never shows up in profiles.
+const buildCheckEvery = 1 << 12
+
 // build creates boxes breadth-first, splitting every box whose source or
-// target count exceeds MaxPoints, pruning empty octants.
-func (t *Tree) build(srcKeys, trgKeys []keyed, maxDepth int) {
+// target count exceeds MaxPoints, pruning empty octants. ctx is checked
+// once per level and every buildCheckEvery boxes within a level.
+func (t *Tree) build(ctx context.Context, srcKeys, trgKeys []keyed, maxDepth int) error {
 	t.index = make(map[morton.Key]int32)
 	root := Box{
 		Key: morton.Key{}, Parent: Nil, Leaf: true,
@@ -196,7 +226,15 @@ func (t *Tree) build(srcKeys, trgKeys []keyed, maxDepth int) {
 		if level > maxDepth {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for bi := start; bi < end; bi++ {
+			if (bi-start)%buildCheckEvery == buildCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			b := &t.Boxes[bi]
 			if b.SrcCount <= t.MaxPoints && b.TrgCount <= t.MaxPoints {
 				continue
@@ -241,6 +279,7 @@ func (t *Tree) build(srcKeys, trgKeys []keyed, maxDepth int) {
 	if t.LevelStart[len(t.LevelStart)-1] != len(t.Boxes) {
 		t.LevelStart = append(t.LevelStart, len(t.Boxes))
 	}
+	return nil
 }
 
 // countPrefix returns how many leading keys in seg are descendants of (or
@@ -273,7 +312,7 @@ func Assemble(center [3]float64, halfWidth float64, boxes []Box, levelStart []in
 	for i := range boxes {
 		t.index[boxes[i].Key] = int32(i)
 	}
-	t.buildLists()
+	t.buildLists(context.Background())
 	return t
 }
 

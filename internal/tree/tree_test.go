@@ -1,6 +1,8 @@
 package tree
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -345,5 +347,62 @@ func TestDistinctSourceAndTargetSets(t *testing.T) {
 	}
 	if nSrc != 300 || nTrg != 200 {
 		t.Fatalf("leaf totals %d/%d, want 300/200", nSrc, nTrg)
+	}
+}
+
+// countdownCtx reports cancellation from its (budget+1)-th Err() call
+// on — a deterministic way to land a cancellation in the middle of a
+// build, past the up-front stage-boundary checks.
+type countdownCtx struct {
+	context.Context
+	budget int
+	calls  int
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.budget {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBuildCtxCancellation: a cancelled context aborts the construction
+// (pre-cancelled up front, and mid-build via a context that fires during
+// the per-level loops), returning ctx.Err() instead of a tree.
+func TestBuildCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := geom.Flatten(geom.UniformCube(rng, 3000))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if tr, err := BuildCtx(ctx, pts, pts, Config{MaxPoints: 10}); !errors.Is(err, context.Canceled) || tr != nil {
+		t.Fatalf("pre-cancelled BuildCtx = (%v, %v), want (nil, context.Canceled)", tr, err)
+	}
+
+	// A context that starts failing only after the up-front checks have
+	// passed: the abort can then only come from the per-level loop
+	// checks, proving they exist (MaxPoints 1 forces deep subdivision,
+	// so several levels are visited).
+	cctx := &countdownCtx{Context: context.Background(), budget: 3}
+	if _, err := BuildCtx(cctx, pts, pts, Config{MaxPoints: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel err = %v, want context.Canceled", err)
+	}
+	if cctx.calls <= 3 {
+		t.Fatalf("cancellation fired on call %d, before the per-level loops", cctx.calls)
+	}
+
+	// And an uncancelled BuildCtx matches Build.
+	tr, err := BuildCtx(context.Background(), pts, pts, Config{MaxPoints: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(pts, pts, Config{MaxPoints: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Boxes) != len(ref.Boxes) || tr.Depth() != ref.Depth() {
+		t.Errorf("BuildCtx tree shape (%d boxes, depth %d) != Build (%d, %d)",
+			len(tr.Boxes), tr.Depth(), len(ref.Boxes), ref.Depth())
 	}
 }
