@@ -219,6 +219,46 @@ func BenchmarkWorkersSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkElasticIdleFanout is the scheduler's acceptance benchmark:
+// one evaluation on an otherwise idle server, compared between the old
+// static throughput split (every call at width 1, the previous
+// -eval-workers default) and the elastic pool granting the lone call
+// the whole machine. On multi-core hardware "elastic" must beat
+// "static1"; on a single core the two must coincide to within the
+// lease bookkeeping (~µs per call) — which is also what CI's one-shot
+// smoke run guards: a scheduling regression shows up here first.
+func BenchmarkElasticIdleFanout(b *testing.B) {
+	const n = 20000
+	patches := SpherePatches(1, n, 8, 0.1)
+	pts := FlattenPatches(patches)
+	den := RandomDensities(2, n, 1)
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		// A fresh full-width pool per sub-benchmark: idle, so the grant
+		// equals the requested ceiling.
+		ev, err := NewEvaluator(pts, pts, Options{
+			Kernel: Laplace(), Degree: 6, MaxPoints: 60,
+			Workers: workers, Pool: NewPool(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ev.Evaluate(den); err != nil { // warm the operator caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Evaluate(den); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ev.Stats().Lanes), "granted-lanes")
+	}
+	b.Run("static1", func(b *testing.B) { run(b, 1) })
+	b.Run("elastic", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkEvaluateBatch measures the per-RHS cost of batched
 // evaluation against repeated single evaluations: the batch pays tree
 // traversal and near-field kernel evaluations once, so per-RHS ns/op

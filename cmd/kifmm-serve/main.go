@@ -17,6 +17,14 @@
 // errors carry machine-readable kifmm taxonomy codes mapped onto HTTP
 // 400/404/413/499/504/500.
 //
+// Scheduling is adaptive: all requests share one elastic pool of
+// -max-workers lanes. An evaluation on an idle server fans out across
+// every lane; as concurrent requests arrive, running evaluations shed
+// lanes at chunk boundaries down to -min-lane-per-eval, and requests
+// that cannot get even the floor queue. Granted widths are reported
+// per response (granted_lanes) and aggregated under /debug/vars
+// (lanes_in_use, lanes_granted_total, granted_width_hist).
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
 // in-flight requests get -drain-timeout to finish; past the drain
 // deadline their contexts are cancelled, which aborts the running
@@ -44,8 +52,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", 32, "maximum number of cached plans (LRU)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "bound the summed estimated plan footprint in bytes (0 = count bound only)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent evaluations")
-	evalWorkers := flag.Int("eval-workers", 1, "goroutines one evaluation fans out over (raise for latency, keep 1 for throughput)")
+	maxWorkers := flag.Int("max-workers", runtime.GOMAXPROCS(0), "elastic pool capacity: total worker lanes across all concurrent evaluations (one idle request may use them all)")
+	minLane := flag.Int("min-lane-per-eval", 1, "admission floor: lanes every evaluation keeps under saturation; bounds concurrent evaluations at max-workers/min-lane-per-eval")
 	evalTimeout := flag.Duration("eval-timeout", 0, "per-request deadline; requests exceeding it fail with 504 and the evaluation stops (0 = none)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP write timeout")
@@ -54,7 +62,7 @@ func main() {
 
 	svc := service.New(service.Config{
 		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
-		Workers: *workers, EvalWorkers: *evalWorkers,
+		MaxWorkers: *maxWorkers, MinLanePerEval: *minLane,
 	})
 	// baseCtx parents every request context; cancelling it is the lever
 	// that aborts all in-flight evaluations when the drain deadline
@@ -71,8 +79,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("kifmm-serve listening on %s (cache %d plans / %d bytes, %d workers x %d eval goroutines, eval timeout %v)\n",
-			*addr, *cacheSize, *cacheBytes, *workers, *evalWorkers, *evalTimeout)
+		fmt.Printf("kifmm-serve listening on %s (cache %d plans / %d bytes, %d elastic lanes, floor %d per eval, eval timeout %v)\n",
+			*addr, *cacheSize, *cacheBytes, *maxWorkers, *minLane, *evalTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 

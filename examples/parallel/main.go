@@ -64,8 +64,10 @@ func main() {
 	fmt.Printf("%8s %12s %10s %8s\n", "workers", "T(wall)", "speedup", "eff")
 	var w1 time.Duration
 	for _, w := range []int{1, 2, 4, 8} {
+		// A dedicated idle pool per width keeps the sweep honest: the
+		// elastic grant equals w exactly, even beyond the core count.
 		ev, err := kifmm.NewEvaluatorCtx(ctx, pts, pts, kifmm.Options{
-			Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60, Workers: w,
+			Kernel: kifmm.Laplace(), Degree: 6, MaxPoints: 60, Workers: w, Pool: kifmm.NewPool(w),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,468 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Elastic is a process-wide pool of worker lanes shared by every
+// concurrently running evaluation. Where the old fixed-width Pool split
+// parallelism statically (N concurrent calls x M goroutines each,
+// decided at plan time), an Elastic sizes each call at runtime:
+// Acquire hands out a Lease whose width depends on current load — a
+// lone caller on an idle pool gets up to the full capacity, while under
+// saturation every caller degrades toward the configured per-lease
+// minimum (default 1).
+//
+// Leases are elastic in both directions while they run:
+//
+//   - When a new caller arrives, the pool lowers the target width of
+//     running leases toward the new fair share; their in-flight ForRange
+//     sweeps notice at the next chunk-claim boundary, the excess workers
+//     retire, and the freed lanes admit the newcomer. A long evaluation
+//     therefore shrinks as traffic arrives instead of hogging the
+//     machine.
+//   - When load drains, a lease grows back toward its ceiling at its
+//     next ForRange dispatch (pass boundary), so a long evaluation fans
+//     back out on a newly idle pool.
+//
+// Lane accounting is what Acquire admission-controls: the sum of lanes
+// held by live leases never exceeds the capacity, and a caller that
+// cannot get its minimum width queues (honoring ctx) until running
+// sweeps shed lanes. Do not acquire a second lease while holding one —
+// under saturation that deadlocks the same way nested locks do.
+//
+// Width never changes what a sweep computes: ForRange hands out worker
+// ids only to index per-lease scratch, every index runs exactly once,
+// and callers keep per-index accumulation order fixed, so results are
+// bitwise identical across every grant width and across mid-sweep
+// shrinks.
+type Elastic struct {
+	capacity int
+
+	mu      sync.Mutex
+	min     int // admission floor per lease (SetMinGrant)
+	held    int // Σ lanes currently charged to live leases
+	leases  map[*Lease]struct{}
+	waiters map[*Lease]struct{} // Acquire callers queued for their floor
+	// changed is closed and replaced whenever lanes free up or targets
+	// drop; Acquire waiters select on it alongside their ctx.
+	changed chan struct{}
+
+	grantedLanes  int64 // Σ admission grants (lanes), for metrics
+	grantedLeases int64 // number of admissions
+	nextSeq       int64 // arrival order, the allocation tie-break
+}
+
+// NewElastic returns an elastic pool with the given lane capacity;
+// maxWorkers <= 0 selects runtime.GOMAXPROCS(0). The per-lease
+// admission minimum starts at 1.
+func NewElastic(maxWorkers int) *Elastic {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Elastic{
+		capacity: maxWorkers,
+		min:      1,
+		leases:   make(map[*Lease]struct{}),
+		waiters:  make(map[*Lease]struct{}),
+		changed:  make(chan struct{}),
+	}
+}
+
+// SetMinGrant sets the per-lease admission floor: Acquire blocks until
+// it can grant at least min lanes (clamped to [1, capacity] and to the
+// caller's own want), and running leases are never revoked below it.
+// Raising it trades queueing for per-call latency. Call before the pool
+// is busy; in-flight leases keep the floor they were admitted with.
+func (e *Elastic) SetMinGrant(min int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if min < 1 {
+		min = 1
+	}
+	if min > e.capacity {
+		min = e.capacity
+	}
+	e.min = min
+}
+
+// Cap returns the pool's lane capacity.
+func (e *Elastic) Cap() int { return e.capacity }
+
+// InUse returns the number of lanes currently held by live leases
+// (the lanes_in_use gauge; never exceeds Cap).
+func (e *Elastic) InUse() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.held
+}
+
+// GrantedLanes returns the total number of lanes handed out at
+// admission across all Acquire calls (mid-run regrowth not counted).
+func (e *Elastic) GrantedLanes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.grantedLanes
+}
+
+// GrantedLeases returns the number of leases admitted.
+func (e *Elastic) GrantedLeases() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.grantedLeases
+}
+
+// notifyLocked wakes every Acquire waiter to re-examine pool state.
+func (e *Elastic) notifyLocked() {
+	close(e.changed)
+	e.changed = make(chan struct{})
+}
+
+// Lease is one caller's claim on pool lanes, from Acquire until
+// Release. A Lease is used by a single evaluation at a time: ForRange
+// calls must not overlap (the FMM's passes are sequential), though they
+// may come from different goroutines in sequence.
+type Lease struct {
+	e       *Elastic
+	want    int   // width ceiling (clamped to capacity)
+	min     int   // revocation/admission floor: min(pool min, want)
+	seq     int64 // arrival order; ties in want allocate oldest-first
+	granted int   // width at admission, for metrics
+
+	held int // lanes charged to this lease; guarded by e.mu
+	// target is the width the current (or next) sweep may use; always
+	// <= held while a sweep runs. The pool lowers it to revoke lanes;
+	// workers observe it between chunk claims.
+	target   atomic.Int32
+	released bool // guarded by e.mu
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Acquire admits one evaluation, returning a lease sized by current
+// load: up to want lanes (want <= 0 means the full capacity) on an idle
+// pool, degrading toward the admission floor as concurrent leases pile
+// up. When fewer than the floor are free it first revokes running
+// leases toward the new fair share, then blocks — honoring ctx — until
+// their sweeps shed enough lanes. The returned lease must be Released.
+func (e *Elastic) Acquire(ctx context.Context, want int) (*Lease, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if want <= 0 || want > e.capacity {
+		want = e.capacity
+	}
+	min := e.min
+	if min > want {
+		min = want
+	}
+	e.nextSeq++
+	l := &Lease{e: e, want: want, min: min, seq: e.nextSeq}
+	queued := false
+	for {
+		// Allocate fairly with this caller counted; revoke running
+		// leases toward their shares so lanes start flowing back even
+		// while we wait.
+		alloc := e.allocsLocked(l, queued)
+		for o := range e.leases {
+			o.lowerTargetLocked(alloc[o])
+		}
+		if free := e.capacity - e.held; free >= min {
+			grant := clamp(alloc[l], min, want)
+			if grant > free {
+				grant = free
+			}
+			l.held = grant
+			l.granted = grant
+			l.target.Store(int32(grant))
+			e.held += grant
+			e.leases[l] = struct{}{}
+			e.grantedLanes += int64(grant)
+			e.grantedLeases++
+			if queued {
+				delete(e.waiters, l)
+			}
+			e.mu.Unlock()
+			return l, nil
+		}
+		if !queued {
+			// Queued waiters count toward everyone's allocation, so
+			// running leases keep shrinking (and stay shrunk across
+			// their pass boundaries) until we are admitted.
+			queued = true
+			e.waiters[l] = struct{}{}
+		}
+		ch := e.changed
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			e.mu.Lock()
+			delete(e.waiters, l)
+			e.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		e.mu.Lock()
+	}
+}
+
+// allocsLocked water-fills the capacity over every current claimant —
+// live leases, queued waiters, plus the extra prospective one unless it
+// is already queued. Claimants are served smallest want first, each
+// taking at most an equal split of what remains and never more than its
+// want, so a width-1 plan build claims one lane (not a full 1/n share)
+// and division remainders flow to the wider claimants instead of
+// sitting idle. Over-subscription (more claimants than lanes) floors
+// later shares at 0; callers clamp to each lease's own admission floor.
+func (e *Elastic) allocsLocked(extra *Lease, queued bool) map[*Lease]int {
+	claimants := make([]*Lease, 0, len(e.leases)+len(e.waiters)+1)
+	for o := range e.leases {
+		claimants = append(claimants, o)
+	}
+	for o := range e.waiters {
+		claimants = append(claimants, o)
+	}
+	if extra != nil && !queued {
+		claimants = append(claimants, extra)
+	}
+	// Deterministic order: smallest want first (they cap their own
+	// share, leaving more for the wide ones), arrival order breaking
+	// ties — so repeated allocations agree and the split converges.
+	sort.Slice(claimants, func(i, j int) bool {
+		if claimants[i].want != claimants[j].want {
+			return claimants[i].want < claimants[j].want
+		}
+		return claimants[i].seq < claimants[j].seq
+	})
+	alloc := make(map[*Lease]int, len(claimants))
+	remaining := e.capacity
+	for i, o := range claimants {
+		share := remaining / (len(claimants) - i)
+		if share > o.want {
+			share = o.want
+		}
+		alloc[o] = share
+		remaining -= share
+	}
+	return alloc
+}
+
+// lowerTargetLocked revokes this lease's width down to its allocation,
+// clamped to its own floor and ceiling. Lanes actually return when the
+// running sweep's excess workers hit their next chunk-claim boundary
+// (or at the next ForRange dispatch if no sweep is running).
+func (l *Lease) lowerTargetLocked(share int) {
+	t := clamp(share, l.min, l.want)
+	if cur := int(l.target.Load()); t < cur {
+		l.target.Store(int32(t))
+	}
+}
+
+// dropLane returns one lane to the pool; called by a worker retiring at
+// a chunk-claim boundary after its lane was revoked.
+func (l *Lease) dropLane() {
+	e := l.e
+	e.mu.Lock()
+	l.held--
+	e.held--
+	e.notifyLocked()
+	e.mu.Unlock()
+}
+
+// resize settles the lease's width at a ForRange dispatch (no workers
+// running): lanes revoked between passes are returned immediately, and
+// on a drained pool the lease grows back toward its fair share — which
+// on an idle pool is its full ceiling. Returns the width to run with.
+func (l *Lease) resize() int {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l.released {
+		return 1
+	}
+	t := clamp(e.allocsLocked(nil, false)[l], l.min, l.want)
+	switch {
+	case t < l.held:
+		e.held -= l.held - t
+		l.held = t
+		e.notifyLocked()
+	case t > l.held:
+		if extra := t - l.held; extra > 0 {
+			if free := e.capacity - e.held; extra > free {
+				extra = free
+			}
+			l.held += extra
+			e.held += extra
+		}
+	}
+	l.target.Store(int32(l.held))
+	return l.held
+}
+
+// shrinkTo returns the lanes beyond width w to the pool at dispatch: a
+// sweep over fewer items than the lease's width cannot use them, and a
+// queued competitor can. The next dispatch's resize reclaims them if
+// they are still free.
+func (l *Lease) shrinkTo(w int) int {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l.released {
+		return 1
+	}
+	if l.held > w {
+		e.held -= l.held - w
+		l.held = w
+		l.target.Store(int32(w))
+		e.notifyLocked()
+	}
+	return l.held
+}
+
+// Sync settles the lease against current pool load outside a sweep:
+// lanes revoked since the last dispatch are returned immediately, and
+// on a drained pool the lease grows back toward its fair share.
+// ForRange does this at every dispatch — Sync is for leases held over
+// long stretches of caller-side work with no sweep running, which
+// would otherwise sit on revoked lanes until Release. Returns the
+// settled width. Must not be called while a ForRange is in flight.
+func (l *Lease) Sync() int { return l.resize() }
+
+// Granted returns the width this lease was admitted with (the quantity
+// the per-request width histogram records).
+func (l *Lease) Granted() int { return l.granted }
+
+// Width returns the width the current or next sweep may use. It shrinks
+// when the pool revokes lanes and grows back at pass boundaries.
+func (l *Lease) Width() int { return int(l.target.Load()) }
+
+// MaxWidth returns the widest this lease can ever run (its clamped
+// ceiling) — the bound callers size per-worker scratch off.
+func (l *Lease) MaxWidth() int { return l.want }
+
+// Release returns every lane to the pool and retires the lease.
+// Idempotent. Must not be called while a ForRange is in flight.
+func (l *Lease) Release() {
+	e := l.e
+	e.mu.Lock()
+	if l.released {
+		e.mu.Unlock()
+		return
+	}
+	l.released = true
+	e.held -= l.held
+	l.held = 0
+	l.target.Store(0)
+	delete(e.leases, l)
+	e.notifyLocked()
+	e.mu.Unlock()
+}
+
+// ForRange invokes fn(worker, i) for every i in [lo, hi) under the
+// lease, distributing indices dynamically (atomic chunk claiming) over
+// the lease's current width and returning after every started
+// invocation completed — a barrier. Worker ids stay in [0, MaxWidth()).
+//
+// Elasticity: the width is settled against the pool at dispatch (a
+// lease on a drained pool grows back toward its ceiling), and while the
+// sweep runs each worker re-checks the lease's target between chunk
+// claims — a worker whose lane was revoked finishes its current chunk,
+// returns the lane to the pool and retires, so a concurrent Acquire is
+// admitted within one chunk of work. Worker 0 is never revoked; a sweep
+// always completes.
+//
+// ctx is checked at dispatch and between chunk claims; on cancellation
+// the sweep stops claiming, the barrier drains, and ForRange returns
+// ctx.Err() with the range only partially processed. A panic in fn is
+// re-raised on the calling goroutine after the barrier.
+func (l *Lease) ForRange(ctx context.Context, lo, hi int, fn func(worker, i int)) error {
+	n := hi - lo
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := l.resize()
+	if w > n {
+		// More lanes than items: hand the unusable ones back rather
+		// than sitting on them for the whole pass.
+		w = l.shrinkTo(n)
+	}
+	grain := grainFor(n, w)
+	if w <= 1 {
+		for clo := 0; clo < n; clo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			chi := clo + grain
+			if chi > n {
+				chi = n
+			}
+			for i := lo + clo; i < lo+chi; i++ {
+				fn(0, i)
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	wg.Add(w)
+	done := ctx.Done()
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Revocation check at the chunk-claim boundary: a worker
+				// beyond the lease's current target hands its lane back
+				// and retires (worker 0 is the floor — some lane always
+				// finishes the range).
+				if wk > 0 && wk >= int(l.target.Load()) {
+					l.dropLane()
+					return
+				}
+				clo := next.Add(int64(grain)) - int64(grain)
+				if clo >= int64(n) {
+					return
+				}
+				chi := clo + int64(grain)
+				if chi > int64(n) {
+					chi = int64(n)
+				}
+				for i := lo + int(clo); i < lo+int(chi); i++ {
+					fn(wk, i)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return ctx.Err()
+}

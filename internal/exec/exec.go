@@ -1,13 +1,19 @@
 // Package exec is the shared-memory parallel execution engine of the
-// FMM: a fixed-size goroutine pool with a dynamically scheduled
-// parallel-for. The paper's central observation is that every FMM pass
+// FMM. The paper's central observation is that every FMM pass
 // decomposes into independent per-box work items synchronized only at
-// level boundaries; Pool.ForRange is exactly that shape — fan a
-// half-open index range out over the workers, barrier at the end.
+// level boundaries; Lease.ForRange is exactly that shape — fan a
+// half-open index range out over worker lanes, barrier at the end.
 //
-// Each invocation hands the callback a stable worker id in [0, Workers())
-// so callers can keep per-worker scratch buffers and statistics without
-// locks, merging them after the barrier.
+// Lanes come from a process-wide Elastic pool rather than a per-caller
+// fixed-width pool: each evaluation Acquires a lease sized by current
+// load (the whole machine when idle, degrading toward a configured
+// floor under saturation), and running sweeps shed revoked lanes at
+// chunk-claim boundaries so long evaluations shrink as new callers
+// arrive. See Elastic for the scheduling contract.
+//
+// Each ForRange invocation hands the callback a stable worker id in
+// [0, Lease.MaxWidth()) so callers can keep per-worker scratch buffers
+// and statistics without locks, merging them after the barrier.
 //
 // ForRange is context-aware: it checks ctx at dispatch and each worker
 // checks it between chunk claims, so a cancellation lands within one
@@ -16,127 +22,16 @@
 // to completion.
 package exec
 
-import (
-	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
-
-// Pool fans index ranges out over a fixed number of workers. The zero
-// value is not ready; use New. A Pool is stateless between calls and
-// safe for concurrent use (concurrent ForRange calls simply share the
-// machine).
-type Pool struct {
-	workers int
-}
-
-// New returns a pool of the given width; workers <= 0 selects
-// runtime.GOMAXPROCS(0).
-func New(workers int) *Pool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Pool{workers: workers}
-}
-
-// Workers returns the pool width.
-func (p *Pool) Workers() int { return p.workers }
-
 // grainFor picks the dynamic-scheduling chunk size: small enough that an
 // uneven work distribution (adaptive trees concentrate points in few
 // boxes) keeps every worker busy, large enough that the atomic fetch-add
-// is off the critical path. Cancellation checks ride the same cadence —
-// one ctx.Err() load per chunk — so an uncancelled run pays a handful of
-// atomic loads per pass, not one per index.
+// is off the critical path. Cancellation and lane-revocation checks ride
+// the same cadence — one atomic load each per chunk — so an undisturbed
+// run pays a handful of atomic loads per pass, not one per index.
 func grainFor(n, workers int) int {
 	g := n / (workers * 8)
 	if g < 1 {
 		g = 1
 	}
 	return g
-}
-
-// ForRange invokes fn(worker, i) for every i in [lo, hi), distributing
-// indices over the pool dynamically (atomic chunk claiming, so uneven
-// per-index costs still balance). It returns after every started
-// invocation has completed — a barrier, which is what gives the FMM its
-// level synchronization. With one worker (or a single-index range) it
-// runs inline, byte-for-byte matching a plain loop.
-//
-// ctx is checked at dispatch and between chunk claims. On cancellation
-// the sweep stops claiming new chunks, the barrier drains, and ForRange
-// returns ctx.Err(); the range is then only partially processed, so
-// callers must treat their output buffers as garbage.
-//
-// A panic in fn is re-raised on the calling goroutine after the barrier,
-// so callers' recover-based safety nets (e.g. the evaluation service)
-// keep working under parallel execution.
-func (p *Pool) ForRange(ctx context.Context, lo, hi int, fn func(worker, i int)) error {
-	n := hi - lo
-	if n <= 0 {
-		return ctx.Err()
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	grain := grainFor(n, w)
-	if w <= 1 {
-		for clo := 0; clo < n; clo += grain {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chi := clo + grain
-			if chi > n {
-				chi = n
-			}
-			for i := lo + clo; i < lo+chi; i++ {
-				fn(0, i)
-			}
-		}
-		return nil
-	}
-	var next atomic.Int64
-	var panicOnce sync.Once
-	var panicked any
-	var wg sync.WaitGroup
-	wg.Add(w)
-	done := ctx.Done()
-	for wk := 0; wk < w; wk++ {
-		go func(wk int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
-				}
-			}()
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				clo := next.Add(int64(grain)) - int64(grain)
-				if clo >= int64(n) {
-					return
-				}
-				chi := clo + int64(grain)
-				if chi > int64(n) {
-					chi = int64(n)
-				}
-				for i := lo + int(clo); i < lo+int(chi); i++ {
-					fn(wk, i)
-				}
-			}
-		}(wk)
-	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
-	return ctx.Err()
 }

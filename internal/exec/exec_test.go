@@ -9,27 +9,41 @@ import (
 	"time"
 )
 
-func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+// leaseOf returns a lease of exactly w lanes on a fresh, otherwise idle
+// pool of capacity w (an idle pool grants the full want).
+func leaseOf(t testing.TB, w int) *Lease {
+	t.Helper()
+	l, err := NewElastic(w).Acquire(context.Background(), w)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.Granted() != w {
+		t.Fatalf("idle pool granted %d lanes, want %d", l.Granted(), w)
+	}
+	return l
+}
+
+func TestNewElasticDefaultsToGOMAXPROCS(t *testing.T) {
 	for _, w := range []int{0, -3} {
-		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
-			t.Errorf("New(%d).Workers() = %d, want GOMAXPROCS", w, got)
+		if got := NewElastic(w).Cap(); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("NewElastic(%d).Cap() = %d, want GOMAXPROCS", w, got)
 		}
 	}
-	if got := New(5).Workers(); got != 5 {
-		t.Errorf("New(5).Workers() = %d", got)
+	if got := NewElastic(5).Cap(); got != 5 {
+		t.Errorf("NewElastic(5).Cap() = %d", got)
 	}
 }
 
 // TestForRangeCoversEveryIndex: each index in [lo, hi) runs exactly once,
-// for pool widths below, at and above the range size.
+// for lease widths below, at and above the range size.
 func TestForRangeCoversEveryIndex(t *testing.T) {
 	ctx := context.Background()
 	for _, workers := range []int{1, 2, 4, 32} {
-		p := New(workers)
+		l := leaseOf(t, workers)
 		for _, span := range [][2]int{{0, 0}, {3, 3}, {0, 1}, {2, 7}, {0, 1000}} {
 			lo, hi := span[0], span[1]
 			counts := make([]atomic.Int32, hi+1)
-			if err := p.ForRange(ctx, lo, hi, func(_, i int) {
+			if err := l.ForRange(ctx, lo, hi, func(_, i int) {
 				if i < lo || i >= hi {
 					t.Errorf("index %d outside [%d, %d)", i, lo, hi)
 					return
@@ -44,16 +58,18 @@ func TestForRangeCoversEveryIndex(t *testing.T) {
 				}
 			}
 		}
+		l.Release()
 	}
 }
 
-// TestForRangeWorkerIDs: worker ids stay in [0, Workers()) so they can
+// TestForRangeWorkerIDs: worker ids stay in [0, MaxWidth()) so they can
 // index per-worker scratch.
 func TestForRangeWorkerIDs(t *testing.T) {
-	p := New(4)
+	l := leaseOf(t, 4)
+	defer l.Release()
 	var bad atomic.Int32
-	_ = p.ForRange(context.Background(), 0, 500, func(w, _ int) {
-		if w < 0 || w >= p.Workers() {
+	_ = l.ForRange(context.Background(), 0, 500, func(w, _ int) {
+		if w < 0 || w >= l.MaxWidth() {
 			bad.Add(1)
 		}
 	})
@@ -66,10 +82,11 @@ func TestForRangeWorkerIDs(t *testing.T) {
 // finished (per-worker sums merged after the call must account for all
 // indices).
 func TestForRangeBarrier(t *testing.T) {
-	p := New(8)
-	sums := make([]int64, p.Workers())
+	l := leaseOf(t, 8)
+	defer l.Release()
+	sums := make([]int64, l.MaxWidth())
 	const n = 4096
-	if err := p.ForRange(context.Background(), 0, n, func(w, i int) { sums[w] += int64(i) }); err != nil {
+	if err := l.ForRange(context.Background(), 0, n, func(w, i int) { sums[w] += int64(i) }); err != nil {
 		t.Fatalf("ForRange: %v", err)
 	}
 	var total int64
@@ -84,13 +101,14 @@ func TestForRangeBarrier(t *testing.T) {
 // TestForRangePanicPropagates: a panic on a worker goroutine resurfaces
 // on the calling goroutine where recover works.
 func TestForRangePanicPropagates(t *testing.T) {
-	p := New(4)
+	l := leaseOf(t, 4)
+	defer l.Release()
 	defer func() {
 		if r := recover(); r != "boom" {
 			t.Errorf("recovered %v, want \"boom\"", r)
 		}
 	}()
-	_ = p.ForRange(context.Background(), 0, 100, func(_, i int) {
+	_ = l.ForRange(context.Background(), 0, 100, func(_, i int) {
 		if i == 37 {
 			panic("boom")
 		}
@@ -112,14 +130,16 @@ func TestForRangePreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
+		l := leaseOf(t, workers)
 		var ran atomic.Int32
-		err := New(workers).ForRange(ctx, 0, 1000, func(_, _ int) { ran.Add(1) })
+		err := l.ForRange(ctx, 0, 1000, func(_, _ int) { ran.Add(1) })
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
 		}
 		if ran.Load() != 0 {
 			t.Errorf("workers=%d: %d invocations ran after pre-cancel", workers, ran.Load())
 		}
+		l.Release()
 	}
 }
 
@@ -130,10 +150,10 @@ func TestForRangePreCancelled(t *testing.T) {
 func TestForRangeCancelMidSweep(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
-		p := New(workers)
+		l := leaseOf(t, workers)
 		const n = 3200
 		var ran atomic.Int64
-		err := p.ForRange(ctx, 0, n, func(_, i int) {
+		err := l.ForRange(ctx, 0, n, func(_, i int) {
 			if ran.Add(1) == 64 {
 				cancel()
 			}
@@ -146,6 +166,7 @@ func TestForRangeCancelMidSweep(t *testing.T) {
 			t.Errorf("workers=%d: sweep ran all %d indices despite cancellation", workers, got)
 		}
 		cancel()
+		l.Release()
 	}
 }
 
@@ -155,15 +176,16 @@ func TestForRangeCancelLeavesNoWorkers(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for round := 0; round < 5; round++ {
 		ctx, cancel := context.WithCancel(context.Background())
-		p := New(8)
+		l := leaseOf(t, 8)
 		var ran atomic.Int64
-		_ = p.ForRange(ctx, 0, 1<<14, func(_, _ int) {
+		_ = l.ForRange(ctx, 0, 1<<14, func(_, _ int) {
 			if ran.Add(1) == 10 {
 				cancel()
 			}
 			spin()
 		})
 		cancel()
+		l.Release()
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {

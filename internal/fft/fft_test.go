@@ -476,3 +476,153 @@ func benchForward3D(b *testing.B, n int) {
 		p.Forward(x)
 	}
 }
+
+// oddSmooth are the odd 5-smooth lengths the FMM's M2L grids can land
+// on (M = 2p on even degrees, but odd grid edges appear through the
+// NextSmooth padding policy and the degree-8 M=15 case). The even path
+// takes the packed half-length transform; these lengths exercise the
+// odd fallback, which PR 4's suite covered only incidentally.
+func oddSmooth() []int { return []int{15, 25, 27} }
+
+// TestRealFFTOddLengthsProperty: property tests of the odd-length
+// ForwardReal/InverseReal fallback — round trip, agreement with the
+// complex path, linearity, and the inverse of an arbitrary
+// conjugate-symmetric half spectrum matching the full complex inverse.
+func TestRealFFTOddLengthsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range oddSmooth() {
+		p := NewPlan(n)
+		if p.HalfLen() != n/2+1 {
+			t.Fatalf("n=%d: HalfLen = %d, want %d", n, p.HalfLen(), n/2+1)
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		// Round trip.
+		fx := make([]complex128, p.HalfLen())
+		p.ForwardReal(fx, x)
+		back := make([]float64, n)
+		p.InverseReal(back, fx)
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-12*float64(n) {
+				t.Errorf("n=%d: odd real roundtrip error %v at %d", n, back[i]-x[i], i)
+			}
+		}
+		// Match the complex path coefficient for coefficient.
+		wide := make([]complex128, n)
+		for i := range x {
+			wide[i] = complex(x[i], 0)
+		}
+		want := make([]complex128, n)
+		p.Forward(want, wide)
+		if e := maxErr(fx, want[:len(fx)]); e > 1e-12*float64(n) {
+			t.Errorf("n=%d: odd r2c differs from complex path by %v", n, e)
+		}
+		// Linearity: FR(2x + 3y) == 2 FR(x) + 3 FR(y).
+		fy := make([]complex128, p.HalfLen())
+		p.ForwardReal(fy, y)
+		mix := make([]float64, n)
+		for i := range mix {
+			mix[i] = 2*x[i] + 3*y[i]
+		}
+		fmix := make([]complex128, p.HalfLen())
+		p.ForwardReal(fmix, mix)
+		for i := range fmix {
+			if cmplx.Abs(fmix[i]-(2*fx[i]+3*fy[i])) > 1e-11*float64(n) {
+				t.Errorf("n=%d: odd r2c not linear at %d", n, i)
+			}
+		}
+		// An arbitrary conjugate-symmetric half spectrum (bin 0 real —
+		// it is its own conjugate partner at odd n) must inverse to the
+		// real part of the symmetrized full complex inverse.
+		spec := make([]complex128, p.HalfLen())
+		spec[0] = complex(rng.NormFloat64(), 0)
+		for i := 1; i < len(spec); i++ {
+			spec[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		full := make([]complex128, n)
+		copy(full, spec)
+		for j := len(spec); j < n; j++ {
+			v := spec[n-j]
+			full[j] = complex(real(v), -imag(v))
+		}
+		ref := make([]complex128, n)
+		p.Inverse(ref, full)
+		got := make([]float64, n)
+		p.InverseReal(got, spec)
+		for i := range got {
+			if math.Abs(got[i]-real(ref[i])) > 1e-12*float64(n) {
+				t.Errorf("n=%d: odd c2r differs from complex inverse at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPlan3ROddLengths: the cubic half-spectrum transform on odd grid
+// edges — round trip, stored lines matching the full complex Plan3, and
+// the convolution theorem against the complex path (the direct O(m^6)
+// reference is out of reach at these sizes).
+func TestPlan3ROddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	lengths := oddSmooth()
+	if testing.Short() {
+		lengths = lengths[:1]
+	}
+	for _, m := range lengths {
+		p := NewPlan3R(m)
+		pc := NewPlan3(m, m, m)
+		n3 := m * m * m
+		k := p.HalfLen()
+		a := make([]float64, n3)
+		b := make([]float64, n3)
+		ca := make([]complex128, n3)
+		cb := make([]complex128, n3)
+		for i := 0; i < n3; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			ca[i] = complex(a[i], 0)
+			cb[i] = complex(b[i], 0)
+		}
+		// Forward must match the stored lines of the complex transform.
+		fa := make([]complex128, p.FreqLen())
+		p.Forward(fa, a)
+		pc.Forward(ca)
+		for xy := 0; xy < m*m; xy++ {
+			for iz := 0; iz < k; iz++ {
+				if cmplx.Abs(fa[xy*k+iz]-ca[xy*m+iz]) > 1e-11*float64(m) {
+					t.Fatalf("m=%d: half spectrum differs from complex grid at line %d bin %d", m, xy, iz)
+				}
+			}
+		}
+		// Round trip.
+		back := make([]float64, n3)
+		work := append([]complex128(nil), fa...)
+		p.Inverse(back, work)
+		for i := range back {
+			if math.Abs(back[i]-a[i]) > 1e-10 {
+				t.Fatalf("m=%d: odd 3-D real roundtrip error %v at %d", m, back[i]-a[i], i)
+			}
+		}
+		// Convolution theorem vs the complex path.
+		fb := make([]complex128, p.FreqLen())
+		p.Forward(fb, b)
+		for i := range fa {
+			fa[i] *= fb[i]
+		}
+		got := make([]float64, n3)
+		p.Inverse(got, fa)
+		pc.Forward(cb)
+		for i := range ca {
+			ca[i] *= cb[i]
+		}
+		pc.Inverse(ca)
+		for i := range got {
+			if math.Abs(got[i]-real(ca[i])) > 1e-8 {
+				t.Errorf("m=%d: odd real convolution differs from complex path by %v at %d", m, got[i]-real(ca[i]), i)
+			}
+		}
+	}
+}

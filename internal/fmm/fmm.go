@@ -8,9 +8,13 @@
 //
 // Every pass decomposes into independent per-box work synchronized only
 // at level boundaries — the observation the paper's parallel algorithm
-// rests on — so the engine fans each level out over a shared-memory
-// worker pool (internal/exec). Evaluation is read-only on the prepared
-// plan (tree + operators): one Evaluator serves concurrent callers.
+// rests on — so the engine fans each level out over worker lanes leased
+// per call from a shared elastic pool (internal/exec): an evaluation on
+// an idle process runs as wide as Options.Workers allows, degrades
+// toward a floor under concurrent load, and sheds lanes mid-run as
+// competitors arrive — without ever changing its bitwise result.
+// Evaluation is read-only on the prepared plan (tree + operators): one
+// Evaluator serves concurrent callers.
 // Multi-RHS batching (EvaluateBatch) amortizes tree traversal and
 // near-field kernel evaluations across many density vectors, the shape
 // Krylov solvers and the evaluation service need.
@@ -71,13 +75,25 @@ type Options struct {
 	Backend M2LBackend
 	// PinvTol is the pseudo-inverse truncation (default 1e-10).
 	PinvTol float64
-	// Workers is the number of goroutines one evaluation fans its
-	// per-box work out over (default GOMAXPROCS; 1 forces the
-	// sequential path). Results are bitwise identical for every worker
-	// count: each box's floating-point accumulation order is fixed, and
-	// workers only partition boxes. Workers does not affect what an
-	// evaluator computes, so plan identity (kifmm.PlanKey) excludes it.
+	// Workers is the widest a single evaluation may fan its per-box
+	// work out (default GOMAXPROCS; 1 forces the sequential path). It
+	// is a ceiling, not a fixed width: the actual width of each call is
+	// resolved at EvaluateCtx time by leasing lanes from the shared
+	// elastic pool — up to Workers on an idle pool, degrading under
+	// concurrent load, shrinking mid-run as competitors arrive. Results
+	// are bitwise identical for every granted width: each box's
+	// floating-point accumulation order is fixed, and lanes only
+	// partition boxes. Workers does not affect what an evaluator
+	// computes, so plan identity (kifmm.PlanKey) excludes it.
 	Workers int
+	// Pool is the elastic lane pool evaluations lease their width from
+	// (nil selects the process-wide default, sized GOMAXPROCS).
+	// Evaluators sharing a pool — e.g. every plan of the evaluation
+	// service — share one scheduling domain: admission and per-call
+	// width are decided across all of them. Like Workers, Pool cannot
+	// change what an evaluator computes and is excluded from plan
+	// identity.
+	Pool *exec.Elastic
 }
 
 // Stats aggregates per-stage compute times and flop counts of one
@@ -89,6 +105,10 @@ type Stats struct {
 	Up, DownU, DownV, DownW, DownX, Eval time.Duration
 	FlopsUp, FlopsDownU, FlopsDownV,
 	FlopsDownW, FlopsDownX, FlopsEval int64
+	// Lanes is the worker-lane width this evaluation was granted at
+	// admission by the elastic pool (1 on the sequential path). It is
+	// run-level, not a per-stage accumulator, so Add leaves it alone.
+	Lanes int
 }
 
 // Total returns the summed compute time of all stages.
@@ -126,7 +146,7 @@ type Evaluator struct {
 	Ops  *translate.Set
 	opt  Options
 	fft  *translate.FFTM2L
-	pool *exec.Pool
+	pool *exec.Elastic
 
 	// statsMu guards stats, the breakdown of the most recent completed
 	// evaluation (concurrent callers race benignly: last writer wins).
@@ -169,7 +189,26 @@ func ApplyDefaults(opt Options) Options {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Pool, like Workers, is scheduling policy: left alone here (nil
+	// resolves to the process default at construction) and never hashed.
 	return opt
+}
+
+// defaultPool is the process-wide elastic lane pool evaluators without
+// an explicit Options.Pool share, sized to the machine. One pool per
+// process is the point: concurrent evaluations of unrelated plans still
+// negotiate their widths against each other instead of oversubscribing
+// the cores.
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *exec.Elastic
+)
+
+// DefaultPool returns the process-wide elastic pool (capacity
+// GOMAXPROCS at first use).
+func DefaultPool() *exec.Elastic {
+	defaultPoolOnce.Do(func() { defaultPool = exec.NewElastic(0) })
+	return defaultPool
 }
 
 // New builds the octree over src and trg (flat x,y,z slices, which may be
@@ -211,15 +250,28 @@ func FromTree(tr *tree.Tree, opt Options) (*Evaluator, error) {
 	if err != nil {
 		return nil, errs.Typed(err, errs.CodeInvalidInput)
 	}
-	e := &Evaluator{Tree: tr, Ops: ops, opt: opt, pool: exec.New(opt.Workers)}
+	pool := opt.Pool
+	if pool == nil {
+		pool = DefaultPool()
+	}
+	e := &Evaluator{Tree: tr, Ops: ops, opt: opt, pool: pool}
 	if opt.Backend == M2LFFT {
 		e.fft = translate.NewFFTM2L(ops)
 	}
 	return e, nil
 }
 
-// Workers returns the evaluation pool width.
-func (e *Evaluator) Workers() int { return e.pool.Workers() }
+// Workers returns the width ceiling of one evaluation: the widest lane
+// lease a call of this evaluator can be granted (Options.Workers
+// clamped to the pool capacity). The actual width of each call is
+// decided at evaluation time by the pool's load; Stats.Lanes reports
+// what a specific call was granted.
+func (e *Evaluator) Workers() int {
+	if e.opt.Workers < e.pool.Cap() {
+		return e.opt.Workers
+	}
+	return e.pool.Cap()
+}
 
 // Stats returns the stage breakdown of the most recently completed
 // evaluation (with concurrent callers, the last one to finish).
@@ -329,7 +381,7 @@ func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64)
 // evaluations of one plan safe.
 type runState struct {
 	e    *Evaluator
-	pool *exec.Pool
+	pool *exec.Lease
 	nrhs int
 
 	sd, td, ne, nc int
@@ -387,7 +439,12 @@ func (sc *scratch) accBuf(n int) []complex128 {
 	return acc
 }
 
-// evaluate is the engine shared by all Evaluate variants. ctx flows into
+// evaluate is the engine shared by all Evaluate variants. The call's
+// worker-lane width is resolved here, not at plan time: a lease is
+// acquired from the elastic pool (admission — under saturation this is
+// where a call queues, honoring ctx) and every pass fans out under it,
+// shrinking at chunk-claim boundaries if lanes are revoked mid-run and
+// growing back at pass boundaries when the pool drains. ctx flows into
 // every pool dispatch; on cancellation the current pass drains at its
 // barrier, the partially written run state is discarded, and the typed
 // cancellation error is returned (the most recent *completed*
@@ -409,15 +466,22 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 			return nil, Stats{}, errs.Newf(errs.CodeInvalidInput, "fmm: density %d length %d, want %d", q, len(den), nSrc*sd)
 		}
 	}
+	lease, err := e.pool.Acquire(ctx, e.opt.Workers)
+	if err != nil {
+		return nil, Stats{}, errs.FromContext(err)
+	}
+	defer lease.Release()
 	r := &runState{
-		e: e, pool: e.pool, nrhs: len(dens),
+		e: e, pool: lease, nrhs: len(dens),
 		sd: sd, td: td, ne: e.Ops.EquivCount(), nc: e.Ops.CheckCount(),
 		pdens: make([][]float64, len(dens)),
 		ppots: make([][]float64, len(dens)),
-		ws:    make([]scratch, e.pool.Workers()),
+		// Scratch is sized off the lease ceiling, not the granted
+		// width: a shrunken call can fan back out at a pass boundary.
+		ws: make([]scratch, lease.MaxWidth()),
 	}
 	// Permute densities into Morton order (fanned out across the batch).
-	err := r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
+	err = r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
 		p := make([]float64, nSrc*sd)
 		for i, orig := range t.SrcPerm {
 			o := int(orig)
@@ -455,6 +519,7 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 	for i := range r.ws {
 		st.Add(r.ws[i].stats)
 	}
+	st.Lanes = lease.Granted()
 	e.statsMu.Lock()
 	e.stats = st
 	e.statsMu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/direct"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/kernels"
 )
@@ -227,9 +228,12 @@ func TestFMMWorkersBitwiseReproducible(t *testing.T) {
 	for _, backend := range []M2LBackend{M2LFFT, M2LDense} {
 		var want []float64
 		for _, workers := range []int{1, 2, 3, 8} {
+			// Explicit pools make the widths real even on a single-core
+			// machine, where the default pool would grant width 1
+			// throughout.
 			e, err := New(pts, pts, Options{
 				Kernel: kernels.Laplace{}, Degree: 5, MaxPoints: 25,
-				Backend: backend, Workers: workers,
+				Backend: backend, Workers: workers, Pool: exec.NewElastic(8),
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -259,7 +263,10 @@ func TestFMMWorkersBitwiseReproducible(t *testing.T) {
 func TestFMMConcurrentEvaluations(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	pts := geom.Flatten(geom.UniformCube(rng, 1200))
-	e, err := New(pts, pts, Options{Kernel: kernels.Laplace{}, Degree: 5, MaxPoints: 30, Workers: 2})
+	// A shared 4-lane pool under 8 concurrent callers exercises the
+	// admission queue and mid-run revocation alongside the read-only
+	// plan contract.
+	e, err := New(pts, pts, Options{Kernel: kernels.Laplace{}, Degree: 5, MaxPoints: 30, Workers: 2, Pool: exec.NewElastic(4)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/fmm"
 	"repro/internal/geom"
 	"repro/internal/kernels"
@@ -124,7 +125,9 @@ func runExecWorkers(sc Scale) (string, error) {
 	fmt.Fprintf(&b, "%8s %12s %9s %6s\n", "workers", "T(wall)", "speedup", "eff")
 	var t1 time.Duration
 	for _, w := range []int{1, 2, 4, 8} {
-		ev, err := fmm.New(pts, pts, fmm.Options{Kernel: kernels.Laplace{}, Workers: w})
+		// A dedicated idle pool per width: the elastic grant then equals
+		// w exactly, even beyond the core count.
+		ev, err := fmm.New(pts, pts, fmm.Options{Kernel: kernels.Laplace{}, Workers: w, Pool: exec.NewElastic(w)})
 		if err != nil {
 			return "", err
 		}

@@ -122,18 +122,24 @@ type EvalStats struct {
 	EvalNanos  int64 `json:"eval_ns"`
 	TotalNanos int64 `json:"total_ns"`
 	Flops      int64 `json:"flops"`
+	// GrantedLanes is the worker-lane width this evaluation was
+	// admitted with by the elastic pool — MaxWorkers on an idle
+	// server, degrading toward MinLanePerEval under load. Widths never
+	// change results, only wall clock.
+	GrantedLanes int `json:"granted_lanes"`
 }
 
 func statsWire(s fmm.Stats) EvalStats {
 	return EvalStats{
-		UpNanos:    s.Up.Nanoseconds(),
-		DownUNanos: s.DownU.Nanoseconds(),
-		DownVNanos: s.DownV.Nanoseconds(),
-		DownWNanos: s.DownW.Nanoseconds(),
-		DownXNanos: s.DownX.Nanoseconds(),
-		EvalNanos:  s.Eval.Nanoseconds(),
-		TotalNanos: s.Total().Nanoseconds(),
-		Flops:      s.Flops(),
+		UpNanos:      s.Up.Nanoseconds(),
+		DownUNanos:   s.DownU.Nanoseconds(),
+		DownVNanos:   s.DownV.Nanoseconds(),
+		DownWNanos:   s.DownW.Nanoseconds(),
+		DownXNanos:   s.DownX.Nanoseconds(),
+		EvalNanos:    s.Eval.Nanoseconds(),
+		TotalNanos:   s.Total().Nanoseconds(),
+		Flops:        s.Flops(),
+		GrantedLanes: s.Lanes,
 	}
 }
 
@@ -189,4 +195,17 @@ type MetricsSnapshot struct {
 	EvalErrors   int64     `json:"eval_errors"`
 	EvalCanceled int64     `json:"eval_canceled"`
 	Stages       EvalStats `json:"stage_totals"`
+	// Elastic-pool gauges and counters. MaxLanes is the pool capacity
+	// (-max-workers) and MinLanePerEval the admission floor
+	// (-min-lane-per-eval). LanesInUse counts lanes currently leased —
+	// by evaluations and width-1 plan-build admissions alike — and
+	// never exceeds MaxLanes. LanesGrantedTotal accumulates admission
+	// grants, and GrantedWidthHist maps granted width -> number of
+	// evaluations admitted at that width: on an idle server it piles
+	// up at MaxLanes, under saturation at MinLanePerEval.
+	MaxLanes          int              `json:"max_lanes"`
+	MinLanePerEval    int              `json:"min_lane_per_eval"`
+	LanesInUse        int              `json:"lanes_in_use"`
+	LanesGrantedTotal int64            `json:"lanes_granted_total"`
+	GrantedWidthHist  map[string]int64 `json:"granted_width_hist"`
 }

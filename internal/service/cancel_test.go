@@ -69,22 +69,26 @@ func TestEvaluateCancelMidSweep(t *testing.T) {
 	}
 }
 
-// TestWorkerSlotWaitHonorsContext: a request queued behind a saturated
-// worker pool leaves the queue when its context ends, without ever
-// occupying a slot.
+// TestWorkerSlotWaitHonorsContext: a request queued at admission behind
+// a saturated elastic pool leaves the queue when its context ends,
+// without ever being granted a lane.
 func TestWorkerSlotWaitHonorsContext(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc := New(Config{MaxWorkers: 1})
 	info, den := slowPlan(t, svc)
 
-	// Saturate the single slot directly (in-package test): any queued
-	// evaluation now waits until we release it.
-	svc.sem <- struct{}{}
-	defer func() { <-svc.sem }()
+	// Saturate the pool's only lane directly (in-package test): the
+	// lease never runs a sweep, so no lanes flow back and any queued
+	// evaluation waits until we release it.
+	lease, err := svc.pool.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, _, err := svc.Evaluate(ctx, info.ID, den)
+	_, _, err = svc.Evaluate(ctx, info.ID, den)
 	if !errors.Is(err, kifmm.ErrDeadlineExceeded) {
 		t.Fatalf("queued eval: err = %v, want ErrDeadlineExceeded", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,30 +56,39 @@ type Config struct {
 	// plan, so byte bounds are the defense the count bound alone is
 	// not. The most recent plan is always retained.
 	CacheBytes int64
-	// Workers bounds the number of concurrently running Evaluate calls
-	// across all plans (default GOMAXPROCS). Calls beyond the bound
-	// queue. Evaluation is read-only on plan state, so any number of
-	// those calls may share one plan.
-	Workers int
-	// EvalWorkers is the number of goroutines a single evaluation fans
-	// out over inside the FMM engine (kifmm Options.Workers). The
-	// default 1 optimizes for cross-request throughput: with Workers
-	// concurrent evaluations the machine is already saturated, and
-	// intra-evaluation parallelism would only add scheduling overhead.
-	// Raise it (and lower Workers) to trade throughput for latency on
-	// lightly loaded servers.
-	EvalWorkers int
+	// MaxWorkers is the lane capacity of the service's shared elastic
+	// pool (default GOMAXPROCS) — the total intra-evaluation
+	// parallelism across all concurrent requests. Unlike the old
+	// static Workers x EvalWorkers split, the width of each request is
+	// decided at admission by current load: a lone evaluation on an
+	// idle server is granted up to MaxWorkers lanes, while under
+	// saturation every request degrades toward MinLanePerEval and
+	// queues once even that floor is unavailable. Running evaluations
+	// shed revoked lanes at chunk boundaries, so a long sweep shrinks
+	// as new requests arrive. Granted widths never change results
+	// (bitwise).
+	MaxWorkers int
+	// MinLanePerEval is the admission floor (default 1): every
+	// evaluation gets at least this many lanes once admitted and is
+	// never revoked below it, bounding concurrent evaluations at
+	// MaxWorkers/MinLanePerEval with the excess queuing. The default
+	// of 1 maximizes throughput; raise it to bound how far per-request
+	// latency degrades under load.
+	MinLanePerEval int
 }
 
 func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 32
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
-	if c.EvalWorkers <= 0 {
-		c.EvalWorkers = 1
+	if c.MinLanePerEval <= 0 {
+		c.MinLanePerEval = 1
+	}
+	if c.MinLanePerEval > c.MaxWorkers {
+		c.MinLanePerEval = c.MaxWorkers
 	}
 	return c
 }
@@ -129,7 +139,7 @@ func (c *buildCall) leave() {
 }
 
 // Service owns the plan cache, the singleflight build table and the
-// evaluation worker pool. It is safe for concurrent use.
+// elastic evaluation pool. It is safe for concurrent use.
 type Service struct {
 	cfg Config
 
@@ -142,7 +152,16 @@ type Service struct {
 	// (block a build until waiters have joined or cancelled).
 	buildBarrier func(key string)
 
-	sem chan struct{} // worker-pool slots
+	// pool is the elastic lane pool every plan of this service shares:
+	// evaluation admission happens inside the engine (EvaluateCtx
+	// leases its width here) and plan builds are admitted through the
+	// same pool at width 1, so builds and evaluations together never
+	// oversubscribe MaxWorkers lanes.
+	pool *kifmm.Pool
+
+	// widthHist[w] counts evaluations admitted at width w (indices
+	// 1..MaxWorkers) — the per-request granted-width histogram.
+	widthHist []atomic.Int64
 
 	// Counters (atomic.Int64 for guaranteed 64-bit alignment on 32-bit
 	// platforms; see MetricsSnapshot for meanings).
@@ -156,19 +175,23 @@ type Service struct {
 // New returns a ready Service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	pool := kifmm.NewPool(cfg.MaxWorkers)
+	pool.SetMinGrant(cfg.MinLanePerEval)
 	return &Service{
-		cfg:      cfg,
-		cache:    newPlanCache(cfg.CacheSize, cfg.CacheBytes),
-		building: make(map[string]*buildCall),
-		sem:      make(chan struct{}, cfg.Workers),
+		cfg:       cfg,
+		cache:     newPlanCache(cfg.CacheSize, cfg.CacheBytes),
+		building:  make(map[string]*buildCall),
+		pool:      pool,
+		widthHist: make([]atomic.Int64, cfg.MaxWorkers+1),
 	}
 }
 
 // Register resolves req to a cached plan or builds one, coalescing
 // concurrent builds of the same key into a single construction. ctx
-// covers the wait for a worker slot, the build itself (the expensive
-// octree + operator setup is abandoned at its next stage boundary) and
-// the wait on a coalesced build owned by another caller.
+// covers the caller's wait: on a coalesced build owned by another
+// caller, or on its own build (which is admitted through the elastic
+// pool and abandons the expensive octree + operator setup at its next
+// stage boundary when cancelled).
 func (s *Service) Register(ctx context.Context, req PlanRequest) (PlanInfo, error) {
 	p, cached, err := s.register(ctx, req)
 	if err != nil {
@@ -260,18 +283,17 @@ func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, t
 	if s.buildBarrier != nil {
 		s.buildBarrier(key)
 	}
-	// Builds are the expensive step (octree + operator setup); bound
-	// their concurrency with the same worker pool as evaluations so a
-	// burst of distinct registrations cannot saturate the machine. The
-	// wait honors the detached ctx — a build every caller abandoned
-	// leaves the queue.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		c.err = errs.FromContext(ctx.Err())
+	// Builds are the expensive step (octree + operator setup); admit
+	// them through the same elastic pool as evaluations (one lane per
+	// build) so a burst of distinct registrations cannot saturate the
+	// machine. The wait honors the detached ctx — a build every caller
+	// abandoned leaves the queue.
+	lease, err := s.pool.Acquire(ctx, 1)
+	if err != nil {
+		c.err = errs.FromContext(err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer lease.Release()
 	c.plan, c.err = s.build(ctx, key, src, trg, opt, spec)
 }
 
@@ -301,9 +323,11 @@ func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Option
 	if err != nil {
 		return nil, nil, opt, spec, "", errs.Typed(err, errs.CodeInvalidInput)
 	}
-	// The per-evaluation fan-out is server policy, not plan identity
-	// (PlanKey excludes Workers).
-	opt.Workers = s.cfg.EvalWorkers
+	// Scheduling is server policy, not plan identity (PlanKey excludes
+	// Workers and Pool): every plan shares the service pool, and each
+	// evaluation may fan out to the whole machine when it is idle.
+	opt.Workers = s.cfg.MaxWorkers
+	opt.Pool = s.pool
 	spec, err = kernels.SpecFor(opt.Kernel)
 	if err != nil {
 		return nil, nil, opt, spec, "", errs.Typed(err, errs.CodeInvalidInput)
@@ -411,7 +435,7 @@ func (s *Service) lookup(planID string) (*plan, error) {
 }
 
 // Evaluate runs one density→potential evaluation on a registered plan.
-// ctx covers the wait for a worker slot and the evaluation itself: a
+// ctx covers the wait for lane admission and the evaluation itself: a
 // cancellation or deadline aborts the engine sweep within one pass and
 // returns the typed error (ErrCanceled / ErrDeadlineExceeded).
 func (s *Service) Evaluate(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, error) {
@@ -464,27 +488,23 @@ func (s *Service) evaluatePlan(ctx context.Context, p *plan, den []float64) ([]f
 	return pots[0], st, nil
 }
 
-// runEval executes one (possibly batched) evaluation under a worker
-// slot. Evaluation is read-only on plan state, so concurrent calls
-// sharing a plan need no per-plan serialization — the pool slot is the
-// only gate, and the wait for it honors ctx (a caller that disconnects
-// while queued never occupies a slot).
+// runEval executes one (possibly batched) evaluation. Admission is
+// lease acquisition: the engine leases the call's lane width from the
+// service pool inside EvaluateBatchStatsCtx, queueing — and honoring
+// ctx — when not even MinLanePerEval lanes are free (a caller that
+// disconnects while queued never occupies a lane). Evaluation is
+// read-only on plan state, so concurrent calls sharing a plan need no
+// per-plan serialization.
 func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]float64, EvalStats, error) {
 	pots, st, err := func() (pots [][]float64, st fmm.Stats, err error) {
-		// Mirror runBuild's panic safety: release the worker slot in a
-		// defer so a panic in the numeric evaluation path cannot shrink
-		// the pool.
+		// A panic in the numeric evaluation path becomes a typed
+		// internal error (the engine's lease is released by its own
+		// defer even then).
 		defer func() {
 			if r := recover(); r != nil {
 				pots, err = nil, errs.Newf(errs.CodeInternal, "service: evaluation panicked: %v", r)
 			}
 		}()
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, fmm.Stats{}, errs.FromContext(ctx.Err())
-		}
-		defer func() { <-s.sem }()
 		return p.ev.EvaluateBatchStatsCtx(ctx, dens)
 	}()
 	if err != nil {
@@ -531,6 +551,9 @@ func (s *Service) PlansBytes() int64 {
 
 func (s *Service) recordStats(st fmm.Stats, evals int) {
 	s.evaluations.Add(int64(evals))
+	if w := st.Lanes; w >= 1 && w < len(s.widthHist) {
+		s.widthHist[w].Add(1)
+	}
 	s.stageUp.Add(st.Up.Nanoseconds())
 	s.stageDownU.Add(st.DownU.Nanoseconds())
 	s.stageDownV.Add(st.DownV.Nanoseconds())
@@ -551,18 +574,29 @@ func (s *Service) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	live, liveBytes := s.cache.len(), s.cache.totalBytes()
 	s.mu.Unlock()
+	hist := make(map[string]int64)
+	for w := 1; w < len(s.widthHist); w++ {
+		if n := s.widthHist[w].Load(); n > 0 {
+			hist[strconv.Itoa(w)] = n
+		}
+	}
 	return MetricsSnapshot{
-		CacheHits:      s.hits.Load(),
-		CacheMisses:    s.misses.Load(),
-		PlansBuilt:     s.built.Load(),
-		PlansEvicted:   s.evicted.Load(),
-		BuildCoalesced: s.coalesced.Load(),
-		PlansLive:      live,
-		PlansBytes:     liveBytes,
-		BuildNanos:     s.buildNS.Load(),
-		Evaluations:    s.evaluations.Load(),
-		EvalErrors:     s.evalErrors.Load(),
-		EvalCanceled:   s.evalCanceled.Load(),
+		MaxLanes:          s.pool.MaxWorkers(),
+		MinLanePerEval:    s.cfg.MinLanePerEval,
+		LanesInUse:        s.pool.LanesInUse(),
+		LanesGrantedTotal: s.pool.LanesGranted(),
+		GrantedWidthHist:  hist,
+		CacheHits:         s.hits.Load(),
+		CacheMisses:       s.misses.Load(),
+		PlansBuilt:        s.built.Load(),
+		PlansEvicted:      s.evicted.Load(),
+		BuildCoalesced:    s.coalesced.Load(),
+		PlansLive:         live,
+		PlansBytes:        liveBytes,
+		BuildNanos:        s.buildNS.Load(),
+		Evaluations:       s.evaluations.Load(),
+		EvalErrors:        s.evalErrors.Load(),
+		EvalCanceled:      s.evalCanceled.Load(),
 		Stages: EvalStats{
 			UpNanos: up, DownUNanos: du, DownVNanos: dv,
 			DownWNanos: dw, DownXNanos: dx, EvalNanos: ev,

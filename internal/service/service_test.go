@@ -210,7 +210,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestConcurrentEvaluations(t *testing.T) {
-	svc := New(Config{Workers: 4})
+	svc := New(Config{MaxWorkers: 4})
 
 	// Two plans; hammer both concurrently and check every result against
 	// a per-plan reference. Calls sharing a plan run concurrently
@@ -271,7 +271,7 @@ func TestConcurrentEvaluations(t *testing.T) {
 // sequential evaluation. Run under -race this is the canary for any
 // evaluation-path mutation of shared plan state.
 func TestConcurrentSharedPlanIdentical(t *testing.T) {
-	svc := New(Config{Workers: 8})
+	svc := New(Config{MaxWorkers: 8})
 	req := cloudRequest(3, 500)
 	info, err := svc.Register(bg, req)
 	if err != nil {

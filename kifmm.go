@@ -31,8 +31,11 @@
 // ctx-free entry points are thin context.Background() wrappers kept for
 // callers that do not need cancellation.
 //
-// Evaluation fans its per-box work over a goroutine pool
-// (Options.Workers, default GOMAXPROCS) and is read-only on the
+// Evaluation fans its per-box work over worker lanes leased per call
+// from an elastic pool (Options.Workers is the ceiling, Options.Pool
+// the scheduling domain): one call on an idle pool uses the whole
+// machine, concurrent calls negotiate their widths — with bitwise
+// identical results at every width. Evaluation is read-only on the
 // prepared plan, so one Evaluator serves concurrent callers;
 // EvaluateBatch amortizes tree traversal and near-field kernel
 // evaluations over many density vectors at once.
@@ -100,12 +103,21 @@ type Options struct {
 	Backend M2LBackend
 	// PinvTol is the pseudo-inverse truncation threshold.
 	PinvTol float64
-	// Workers is the number of goroutines one evaluation fans its
-	// per-box work out over (default GOMAXPROCS; 1 forces sequential
-	// evaluation). Results are bitwise identical for every worker
-	// count. Workers does not change what an evaluator computes, so
-	// PlanKey deliberately excludes it.
+	// Workers is the width ceiling of one evaluation (default
+	// GOMAXPROCS; 1 forces sequential evaluation). The actual width of
+	// each call is leased from the elastic pool at evaluation time —
+	// the full ceiling when the pool is idle, less under concurrent
+	// load. Results are bitwise identical for every granted width.
+	// Workers does not change what an evaluator computes, so PlanKey
+	// deliberately excludes it.
 	Workers int
+	// Pool is the elastic lane pool evaluations lease their width from
+	// (nil selects the process-wide default, capacity GOMAXPROCS).
+	// Evaluators sharing a Pool form one scheduling domain: admission
+	// and per-call width are negotiated across all their concurrent
+	// evaluations. Like Workers, Pool is pure scheduling policy and is
+	// excluded from PlanKey.
+	Pool *Pool
 }
 
 // fmmOptions maps the public Options onto the engine options. It is the
@@ -118,7 +130,7 @@ func (o Options) fmmOptions() fmm.Options {
 	return fmm.Options{
 		Kernel: o.Kernel, Degree: o.Degree, MaxPoints: o.MaxPoints,
 		MaxDepth: o.MaxDepth, Backend: o.Backend, PinvTol: o.PinvTol,
-		Workers: o.Workers,
+		Workers: o.Workers, Pool: o.Pool.elastic(),
 	}
 }
 
@@ -129,7 +141,7 @@ func optionsFromFMM(f fmm.Options) Options {
 	return Options{
 		Kernel: f.Kernel, Degree: f.Degree, MaxPoints: f.MaxPoints,
 		MaxDepth: f.MaxDepth, Backend: f.Backend, PinvTol: f.PinvTol,
-		Workers: f.Workers,
+		Workers: f.Workers, Pool: poolFromElastic(f.Pool),
 	}
 }
 
@@ -223,7 +235,9 @@ func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64)
 // recently completed evaluation.
 func (e *Evaluator) Stats() fmm.Stats { return e.inner.Stats() }
 
-// Workers returns the number of goroutines one evaluation uses.
+// Workers returns the width ceiling of one evaluation (the widest lane
+// lease a call can be granted); Stats().Lanes reports what a specific
+// call actually got.
 func (e *Evaluator) Workers() int { return e.inner.Workers() }
 
 // FootprintBytes estimates the resident memory of the prepared plan:

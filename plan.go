@@ -35,16 +35,17 @@ func normalizeOptions(opt Options) Options {
 // planKeyHashedOptionFields and planKeyResultNeutralOptionFields
 // together must name every field of Options: the first lists fields
 // PlanKey hashes, the second fields deliberately excluded because they
-// cannot change what an evaluator computes (Workers only partitions
-// per-box work across goroutines; results are bitwise identical for
-// every worker count, and hashing it would fragment the plan cache by
-// machine size). TestPlanKeyCoversOptions fails when a new Options
-// field is in neither list, so it cannot silently miss the hash.
+// cannot change what an evaluator computes (Workers and Pool are pure
+// scheduling: lanes only partition per-box work across goroutines;
+// results are bitwise identical for every granted width, and hashing
+// them would fragment the plan cache by machine size and process
+// wiring). TestPlanKeyCoversOptions fails when a new Options field is
+// in neither list, so it cannot silently miss the hash.
 var (
 	planKeyHashedOptionFields = []string{
 		"Kernel", "Degree", "MaxPoints", "MaxDepth", "Backend", "PinvTol",
 	}
-	planKeyResultNeutralOptionFields = []string{"Workers"}
+	planKeyResultNeutralOptionFields = []string{"Workers", "Pool"}
 )
 
 // PlanKey returns a content hash identifying a prepared Evaluator: two

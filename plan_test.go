@@ -169,6 +169,15 @@ func TestPlanKeyIgnoresWorkers(t *testing.T) {
 			t.Errorf("Workers=%d changed the plan key", w)
 		}
 	}
+	// Pool is scheduling policy too: an explicit pool must hash like the
+	// process default.
+	key, err := PlanKey(pts, pts, Options{Kernel: Laplace(), Pool: NewPool(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != base {
+		t.Error("an explicit Pool changed the plan key")
+	}
 }
 
 func TestPlanKeyErrors(t *testing.T) {

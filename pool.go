@@ -1,0 +1,120 @@
+package kifmm
+
+import (
+	"context"
+
+	"repro/internal/exec"
+	"repro/internal/fmm"
+)
+
+// Pool is an elastic worker-lane pool — one scheduling domain shared by
+// every evaluator constructed with it (Options.Pool). Each evaluation
+// leases its width from the pool at call time: a lone call on an idle
+// pool fans out up to min(Options.Workers, MaxWorkers) lanes, while
+// under concurrent load every call degrades toward the admission floor
+// (SetMinGrant), shedding lanes mid-run as competitors arrive and
+// growing back at pass boundaries as they finish. Admission itself is
+// the concurrency gate: a call that cannot get its floor queues,
+// honoring its context.
+//
+// Widths are pure scheduling: results are bitwise identical across
+// every granted width, including mid-run shrinks, so sharing a pool
+// never perturbs numerics. Evaluators built without an explicit Pool
+// share a process-wide default sized GOMAXPROCS.
+//
+// A Pool is safe for concurrent use. Do not Acquire a lease while
+// already holding one on the same pool (e.g. from inside work running
+// under an evaluation) — under saturation that deadlocks like any
+// nested lock.
+type Pool struct {
+	e *exec.Elastic
+}
+
+// NewPool returns an elastic pool with the given lane capacity;
+// maxWorkers <= 0 selects GOMAXPROCS.
+func NewPool(maxWorkers int) *Pool {
+	return &Pool{e: exec.NewElastic(maxWorkers)}
+}
+
+// poolFromElastic wraps an engine pool back into the public type (used
+// when surfacing engine options through the public Options).
+func poolFromElastic(e *exec.Elastic) *Pool {
+	if e == nil {
+		return nil
+	}
+	return &Pool{e: e}
+}
+
+// elastic unwraps, tolerating a nil receiver (nil means "process
+// default" everywhere a Pool is accepted).
+func (p *Pool) elastic() *exec.Elastic {
+	if p == nil {
+		return nil
+	}
+	return p.e
+}
+
+// SetMinGrant sets the admission floor: every evaluation is granted at
+// least min lanes (clamped to [1, MaxWorkers]) once admitted, and is
+// never revoked below it — so at most MaxWorkers/min evaluations run
+// concurrently and the rest queue. The default floor of 1 maximizes
+// concurrency; raising it bounds how far per-call latency degrades
+// under load.
+func (p *Pool) SetMinGrant(min int) { p.e.SetMinGrant(min) }
+
+// MaxWorkers returns the pool's lane capacity.
+func (p *Pool) MaxWorkers() int { return p.e.Cap() }
+
+// LanesInUse returns the number of lanes currently leased (a gauge;
+// never exceeds MaxWorkers).
+func (p *Pool) LanesInUse() int { return p.e.InUse() }
+
+// LanesGranted returns the cumulative number of lanes handed out at
+// admission across all leases.
+func (p *Pool) LanesGranted() int64 { return p.e.GrantedLanes() }
+
+// LeasesGranted returns the number of admissions.
+func (p *Pool) LeasesGranted() int64 { return p.e.GrantedLeases() }
+
+// Acquire leases want lanes (want <= 0 means the full capacity) for
+// work an embedder schedules alongside evaluations — e.g. the
+// evaluation service admits plan builds through the same pool so a
+// burst of registrations cannot saturate the machine. The call blocks,
+// honoring ctx, until the pool can grant at least the admission floor.
+// The returned lease must be Released; a lease held across long
+// stretches of work should call Sync periodically, otherwise lanes the
+// pool revokes toward other callers stay stuck with it until Release.
+func (p *Pool) Acquire(ctx context.Context, want int) (*Lease, error) {
+	l, err := p.e.Acquire(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	return &Lease{l: l}, nil
+}
+
+// Lease is an embedder's claim on pool lanes, from Pool.Acquire until
+// Release.
+type Lease struct {
+	l *exec.Lease
+}
+
+// Granted returns the width the lease was admitted with.
+func (l *Lease) Granted() int { return l.l.Granted() }
+
+// Width returns the current width (it shrinks when the pool revokes
+// lanes toward other callers).
+func (l *Lease) Width() int { return l.l.Width() }
+
+// Sync settles the lease against current pool load: lanes revoked
+// since the last Sync are returned to the pool immediately, and on a
+// drained pool the lease grows back toward its fair share. Call it at
+// natural checkpoints of long-running embedder work — a revoked lane
+// is otherwise only returned at Release. Returns the settled width.
+func (l *Lease) Sync() int { return l.l.Sync() }
+
+// Release returns the lanes to the pool. Idempotent.
+func (l *Lease) Release() { l.l.Release() }
+
+// DefaultPool returns the process-wide pool used by evaluators whose
+// Options carry no explicit Pool (capacity GOMAXPROCS at first use).
+func DefaultPool() *Pool { return &Pool{e: fmm.DefaultPool()} }
