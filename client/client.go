@@ -55,6 +55,10 @@ type (
 	MetricsSnapshot = service.MetricsSnapshot
 	// HealthResponse mirrors GET /healthz.
 	HealthResponse = service.HealthResponse
+	// TraceSpan is one node of an evaluation's span tree.
+	TraceSpan = service.TraceSpan
+	// RecentEvalsResponse mirrors GET /v1/evals/recent.
+	RecentEvalsResponse = service.RecentEvalsResponse
 )
 
 // APIError is a non-2xx server response: the status, the server's
@@ -179,6 +183,30 @@ func (c *Client) EvaluateBatch(ctx context.Context, planID string, dens [][]floa
 	return resp.Potentials, resp.Stats, nil
 }
 
+// EvaluateTraced is Evaluate plus the server-side span tree of the
+// sweep (?trace=1): wall-clock spans for the permute, upward, downward
+// (with per-level children) and leaf phases, with rhs/granted-lane
+// attributes. Use it to see where a slow evaluation spent its time
+// without shell access to the server.
+func (c *Client) EvaluateTraced(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, *TraceSpan, error) {
+	var resp service.EvaluateResponse
+	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate?trace=1"
+	if err := c.post(ctx, path, service.EvaluateRequest{Densities: den}, &resp); err != nil {
+		return nil, EvalStats{}, nil, err
+	}
+	return resp.Potentials, resp.Stats, resp.Trace, nil
+}
+
+// EvaluateBatchTraced is EvaluateBatch plus the sweep's span tree.
+func (c *Client) EvaluateBatchTraced(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, *TraceSpan, error) {
+	var resp service.EvaluateBatchResponse
+	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate_batch?trace=1"
+	if err := c.post(ctx, path, service.EvaluateBatchRequest{Densities: dens}, &resp); err != nil {
+		return nil, EvalStats{}, nil, err
+	}
+	return resp.Potentials, resp.Stats, resp.Trace, nil
+}
+
 // EvaluateOnce registers the plan and evaluates in one round trip; the
 // plan stays cached server-side. It returns the plan id for follow-up
 // Evaluate calls.
@@ -207,6 +235,19 @@ func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 		return MetricsSnapshot{}, err
 	}
 	return vars.KIFMM, nil
+}
+
+// RecentEvals fetches the span trees of the server's recent
+// evaluations, newest first. n caps how many are returned (0 = all the
+// server retains).
+func (c *Client) RecentEvals(ctx context.Context, n int) (RecentEvalsResponse, error) {
+	var resp RecentEvalsResponse
+	path := "/v1/evals/recent"
+	if n > 0 {
+		path += "?n=" + url.QueryEscape(fmt.Sprint(n))
+	}
+	err := c.get(ctx, path, &resp)
+	return resp, err
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {

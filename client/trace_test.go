@@ -1,0 +1,78 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	kifmm "repro"
+)
+
+// TestTracedEvaluationAndRecentEvals exercises the observability
+// surface end to end through the client: ?trace=1 span trees on both
+// evaluate flavors, then the ring view via /v1/evals/recent.
+func TestTracedEvaluationAndRecentEvals(t *testing.T) {
+	c := startServer(t)
+	ctx := context.Background()
+
+	pts := kifmm.FlattenPatches(kifmm.UniformPatches(11, 250))
+	den := kifmm.RandomDensities(12, len(pts)/3, 1)
+
+	plan, err := c.RegisterPlan(ctx, PlanRequest{
+		Src: pts, Kernel: KernelSpec{Name: "laplace"}, Degree: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untraced calls must not pay for (or receive) a tree.
+	if _, _, err := c.Evaluate(ctx, plan.ID, den); err != nil {
+		t.Fatal(err)
+	}
+
+	pot, stats, trace, err := c.EvaluateTraced(ctx, plan.ID, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pot) != len(pts)/3 {
+		t.Fatalf("potentials length = %d, want %d", len(pot), len(pts)/3)
+	}
+	if trace == nil || trace.Name != "evaluate" {
+		t.Fatalf("trace = %+v, want evaluate root span", trace)
+	}
+	if trace.Duration <= 0 {
+		t.Error("trace root has no duration")
+	}
+	if got := trace.Attrs["plan_id"]; got != plan.ID {
+		t.Errorf("trace plan_id = %q, want %q", got, plan.ID)
+	}
+	for _, name := range []string{"up", "down", "leaf"} {
+		if trace.Find(name) == nil {
+			t.Errorf("trace missing %q span", name)
+		}
+	}
+	if stats.TotalNanos <= 0 {
+		t.Errorf("stats not populated alongside trace: %+v", stats)
+	}
+
+	if _, _, trace, err = c.EvaluateBatchTraced(ctx, plan.ID, [][]float64{den, den}); err != nil {
+		t.Fatal(err)
+	}
+	if trace == nil || trace.Attrs["rhs"] != "2" {
+		t.Fatalf("batch trace = %+v, want rhs=2 attr", trace)
+	}
+
+	recent, err := c.RecentEvals(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recent.Total != 3 {
+		t.Errorf("recent.Total = %d, want 3 evaluations traced", recent.Total)
+	}
+	if len(recent.Traces) != 2 {
+		t.Fatalf("len(recent.Traces) = %d, want the requested 2", len(recent.Traces))
+	}
+	// Newest first: the batch (rhs=2) ran last.
+	if recent.Traces[0].Attrs["rhs"] != "2" {
+		t.Errorf("newest trace rhs = %q, want 2", recent.Traces[0].Attrs["rhs"])
+	}
+}

@@ -7,6 +7,12 @@
 //	kifmm-bench -exp table4.1            # one experiment
 //	kifmm-bench -exp all -scale 2        # everything, 2x the default size
 //	kifmm-bench -list                    # show available experiments
+//
+// It also records performance-trajectory samples: `kifmm-bench
+// -trajectory` runs a fixed workload (N=10000 uniform points, Laplace,
+// degree 6, FFT M2L) and appends a schema'd entry — git SHA, date,
+// per-stage ms, flops, granted lanes — to BENCH_trajectory.json
+// (-trajectory-file), so performance is comparable across commits.
 package main
 
 import (
@@ -24,7 +30,28 @@ func main() {
 	iters := flag.Int("iters", 1, "average the interaction evaluation over this many iterations")
 	maxP := flag.Int("maxp", 0, "cap the processor sweep at this rank count (0 = default sweep)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traj := flag.Bool("trajectory", false, "record one performance-trajectory sample and exit")
+	trajFile := flag.String("trajectory-file", "BENCH_trajectory.json", "trajectory file to append to (with -trajectory)")
+	trajN := flag.Int("trajectory-n", 0, "trajectory workload size (0 = default 10000)")
+	label := flag.String("label", "", "free-form tag stored with the trajectory entry")
 	flag.Parse()
+
+	if *traj {
+		entry, err := harness.RunTrajectoryPoint(harness.TrajectoryConfig{
+			N: *trajN, Iterations: *iters, Label: *label,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.AppendTrajectory(*trajFile, entry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended to %s: sha=%s n=%d wall=%.1fms flops=%d lanes=%d\n",
+			*trajFile, entry.GitSHA, entry.N, entry.WallMS, entry.Flops, entry.GrantedLanes)
+		return
+	}
 
 	exps := harness.Experiments()
 	if *list {

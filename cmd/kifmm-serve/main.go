@@ -10,7 +10,15 @@
 //	POST /v1/plans/{id}/evaluate_batch many density vectors in one sweep
 //	POST /v1/evaluate                  one-shot register + evaluate
 //	GET  /healthz                      liveness
-//	GET  /debug/vars                   expvar metrics ("kifmm" key)
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /v1/evals/recent              span trees of recent evaluations
+//	GET  /debug/vars                   expvar metrics (legacy "kifmm" key)
+//	GET  /debug/pprof/...              runtime profiles (with -pprof)
+//
+// Evaluation requests accept ?trace=1 to echo the evaluation's span
+// tree in the response. Structured request logs (slog, one line per
+// request with a request id) go to stderr; evaluations slower than
+// -slow-eval are logged at WARN.
 //
 // Every request runs under its own context (client disconnects cancel
 // the in-flight FMM sweep) plus the optional -eval-timeout deadline;
@@ -37,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,12 +67,25 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP write timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain; in-flight evaluations past it are cancelled")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under GET /debug/pprof/")
+	slowEval := flag.Duration("slow-eval", time.Second, "log requests slower than this at WARN (0 = never)")
+	traceRing := flag.Int("trace-ring", 0, "evaluations retained for GET /v1/evals/recent (0 = default 64)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
 		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
 		MaxWorkers: *maxWorkers, MinLanePerEval: *minLane,
+		TraceRing: *traceRing,
 	})
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opts := []service.ServerOption{
+		service.WithEvalTimeout(*evalTimeout),
+		service.WithLogger(logger),
+		service.WithSlowEvalThreshold(*slowEval),
+	}
+	if *pprofOn {
+		opts = append(opts, service.WithPprof())
+	}
 	// baseCtx parents every request context; cancelling it is the lever
 	// that aborts all in-flight evaluations when the drain deadline
 	// passes (the ctx plumbing carries it down into the FMM passes).
@@ -71,7 +93,7 @@ func main() {
 	defer cancelBase()
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      service.NewServer(svc, service.WithEvalTimeout(*evalTimeout)),
+		Handler:      service.NewServer(svc, opts...),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		BaseContext:  func(net.Listener) context.Context { return baseCtx },

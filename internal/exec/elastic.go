@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Elastic is a process-wide pool of worker lanes shared by every
@@ -55,6 +56,10 @@ type Elastic struct {
 	grantedLanes  int64 // Σ admission grants (lanes), for metrics
 	grantedLeases int64 // number of admissions
 	nextSeq       int64 // arrival order, the allocation tie-break
+
+	// acquireObs, when set, is invoked after every successful admission
+	// with how long the caller queued and the width it was granted.
+	acquireObs func(wait time.Duration, granted int)
 }
 
 // NewElastic returns an elastic pool with the given lane capacity;
@@ -92,6 +97,17 @@ func (e *Elastic) SetMinGrant(min int) {
 
 // Cap returns the pool's lane capacity.
 func (e *Elastic) Cap() int { return e.capacity }
+
+// SetAcquireObserver installs a callback run after each successful
+// Acquire with the admission wait time and granted width — the hook the
+// service's lease-wait histogram hangs off. The callback runs outside
+// the pool lock on the acquiring goroutine and must be cheap and
+// non-blocking; pass nil to remove it.
+func (e *Elastic) SetAcquireObserver(fn func(wait time.Duration, granted int)) {
+	e.mu.Lock()
+	e.acquireObs = fn
+	e.mu.Unlock()
+}
 
 // InUse returns the number of lanes currently held by live leases
 // (the lanes_in_use gauge; never exceeds Cap).
@@ -161,6 +177,7 @@ func (e *Elastic) Acquire(ctx context.Context, want int) (*Lease, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	e.mu.Lock()
 	if want <= 0 || want > e.capacity {
 		want = e.capacity
@@ -195,7 +212,11 @@ func (e *Elastic) Acquire(ctx context.Context, want int) (*Lease, error) {
 			if queued {
 				delete(e.waiters, l)
 			}
+			obs := e.acquireObs
 			e.mu.Unlock()
+			if obs != nil {
+				obs(time.Since(start), grant)
+			}
 			return l, nil
 		}
 		if !queued {

@@ -35,6 +35,7 @@ package fmm
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/linalg"
 	"repro/internal/morton"
+	"repro/internal/obs"
 	"repro/internal/translate"
 	"repro/internal/tree"
 )
@@ -340,7 +342,7 @@ func (e *Evaluator) EvaluateStats(den []float64) ([]float64, Stats, error) {
 
 // EvaluateStatsCtx is EvaluateCtx returning this call's stage breakdown.
 func (e *Evaluator) EvaluateStatsCtx(ctx context.Context, den []float64) ([]float64, Stats, error) {
-	pots, st, err := e.evaluate(ctx, [][]float64{den})
+	pots, st, err := e.evaluate(ctx, [][]float64{den}, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -354,26 +356,44 @@ func (e *Evaluator) EvaluateStatsCtx(ctx context.Context, den []float64) ([]floa
 // apply it to every right-hand side). Results match per-vector Evaluate
 // calls to accumulation-order rounding.
 func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
-	pots, _, err := e.evaluate(context.Background(), dens)
+	pots, _, err := e.evaluate(context.Background(), dens, nil)
 	return pots, err
 }
 
 // EvaluateBatchCtx is EvaluateBatch under a context; see EvaluateCtx.
 func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, dens [][]float64) ([][]float64, error) {
-	pots, _, err := e.evaluate(ctx, dens)
+	pots, _, err := e.evaluate(ctx, dens, nil)
 	return pots, err
 }
 
 // EvaluateBatchStats is EvaluateBatch returning the aggregate stage
 // breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, Stats, error) {
-	return e.evaluate(context.Background(), dens)
+	return e.evaluate(context.Background(), dens, nil)
 }
 
 // EvaluateBatchStatsCtx is EvaluateBatchCtx returning the aggregate
 // stage breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64) ([][]float64, Stats, error) {
-	return e.evaluate(ctx, dens)
+	return e.evaluate(ctx, dens, nil)
+}
+
+// EvaluateBatchTracedCtx is EvaluateBatchStatsCtx plus a trace: the
+// returned span tree records wall-clock intervals for the evaluation
+// (root), each pass (permute / up / down / leaf / unpermute) and each
+// tree level within the up and down passes. Pass spans measure wall
+// time of the whole parallel sweep, whereas Stats stages sum compute
+// time across lanes — the two agree only at width 1. The tree is
+// finished (every span ended) and owned by the caller; on error the
+// span tree is nil. Tracing costs a handful of small allocations per
+// call.
+func (e *Evaluator) EvaluateBatchTracedCtx(ctx context.Context, dens [][]float64) ([][]float64, Stats, *obs.Span, error) {
+	root := obs.StartSpan("evaluate")
+	pots, st, err := e.evaluate(ctx, dens, root)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	return pots, st, root, nil
 }
 
 // runState carries one evaluation's transient state: the engine reads
@@ -449,7 +469,12 @@ func (sc *scratch) accBuf(n int) []complex128 {
 // barrier, the partially written run state is discarded, and the typed
 // cancellation error is returned (the most recent *completed*
 // evaluation's stats are left untouched).
-func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64, Stats, error) {
+//
+// root, when non-nil, collects a per-pass wall-clock span tree (nil
+// costs nothing — every span method is nil-safe). Passes build the tree
+// sequentially and only this call's goroutines see it until return, so
+// no locking.
+func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64, root *obs.Span) ([][]float64, Stats, error) {
 	k := e.opt.Kernel
 	sd, td := k.SourceDim(), k.TargetDim()
 	t := e.Tree
@@ -480,7 +505,10 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 		// width: a shrunken call can fan back out at a pass boundary.
 		ws: make([]scratch, lease.MaxWidth()),
 	}
+	root.SetAttr("rhs", strconv.Itoa(r.nrhs))
+	root.SetAttr("granted_lanes", strconv.Itoa(lease.Granted()))
 	// Permute densities into Morton order (fanned out across the batch).
+	sp := root.StartChild("permute")
 	err = r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
 		p := make([]float64, nSrc*sd)
 		for i, orig := range t.SrcPerm {
@@ -490,19 +518,27 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 		r.pdens[q] = p
 		r.ppots[q] = make([]float64, nTrg*td)
 	})
+	sp.End()
 	if err == nil {
-		err = r.upwardPass(ctx)
+		sp = root.StartChild("up")
+		err = r.upwardPass(ctx, sp)
+		sp.End()
 	}
 	if err == nil {
-		err = r.downwardPass(ctx)
+		sp = root.StartChild("down")
+		err = r.downwardPass(ctx, sp)
+		sp.End()
 	}
 	if err == nil {
+		sp = root.StartChild("leaf")
 		err = r.leafEvaluation(ctx)
+		sp.End()
 	}
 
 	// Un-permute potentials to input order.
 	pots := make([][]float64, r.nrhs)
 	if err == nil {
+		sp = root.StartChild("unpermute")
 		err = r.pool.ForRange(ctx, 0, r.nrhs, func(_, q int) {
 			pot := make([]float64, nTrg*td)
 			for i, orig := range t.TrgPerm {
@@ -511,6 +547,7 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 			}
 			pots[q] = pot
 		})
+		sp.End()
 	}
 	if err != nil {
 		return nil, Stats{}, errs.FromContext(err)
@@ -520,6 +557,7 @@ func (e *Evaluator) evaluate(ctx context.Context, dens [][]float64) ([][]float64
 		st.Add(r.ws[i].stats)
 	}
 	st.Lanes = lease.Granted()
+	root.End()
 	e.statsMu.Lock()
 	e.stats = st
 	e.statsMu.Unlock()
@@ -568,11 +606,12 @@ func (r *runState) addP2P(sc *scratch, trg, src []float64, den, dst func(q int) 
 // contains sources, deepest level first (S2M at leaves, M2M inside).
 // Levels run in sequence — a parent needs its children — and the boxes
 // of one level fan out over the pool.
-func (r *runState) upwardPass(ctx context.Context) error {
+func (r *runState) upwardPass(ctx context.Context, sp *obs.Span) error {
 	t := r.e.Tree
 	ne, nc := r.ne, r.nc
 	r.phiU = make([][]float64, len(t.Boxes))
 	for l := t.Depth() - 1; l >= 0; l-- {
+		ls := sp.StartChild("level " + strconv.Itoa(l))
 		radius := t.BoxHalfWidth(l)
 		// Fetch the level's operators once, outside the parallel region,
 		// so workers apply them lock-free. Internal boxes exist at level
@@ -618,6 +657,7 @@ func (r *runState) upwardPass(ctx context.Context) error {
 			r.phiU[bi] = phi
 			sc.stats.Up += time.Since(start)
 		})
+		ls.End()
 		if err != nil {
 			return err
 		}
@@ -641,7 +681,7 @@ func (r *runState) getCheck(bi int32) []float64 {
 // sequential (a child needs its parent's phiD); within a level the M2L
 // sweep and the per-box X/L2L/inversion sweep each fan out over the
 // pool.
-func (r *runState) downwardPass(ctx context.Context) error {
+func (r *runState) downwardPass(ctx context.Context, sp *obs.Span) error {
 	t := r.e.Tree
 	ne, nc := r.ne, r.nc
 	r.phiD = make([][]float64, len(t.Boxes))
@@ -650,6 +690,7 @@ func (r *runState) downwardPass(ctx context.Context) error {
 	}
 	r.checks = make([][]float64, len(t.Boxes))
 	for l := 2; l < t.Depth(); l++ {
+		ls := sp.StartChild("level " + strconv.Itoa(l))
 		// V list: M2L translations, batched per level.
 		var err error
 		if r.e.fft != nil {
@@ -658,6 +699,7 @@ func (r *runState) downwardPass(ctx context.Context) error {
 			err = r.applyM2LDense(ctx, l)
 		}
 		if err != nil {
+			ls.End()
 			return err
 		}
 		downPinv := r.e.Ops.DownwardPinv(l)
@@ -713,6 +755,7 @@ func (r *runState) downwardPass(ctx context.Context) error {
 			}
 			sc.stats.Eval += time.Since(startE)
 		})
+		ls.End()
 		if err != nil {
 			return err
 		}

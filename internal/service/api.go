@@ -15,7 +15,15 @@ import (
 	kifmm "repro"
 	"repro/internal/fmm"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 )
+
+// TraceSpan is the wire form of one trace span: a named wall-clock
+// interval with attributes and children ({"name", "start",
+// "duration_ns", "attrs", "children"}). Evaluation responses carry one
+// per request when ?trace=1 is set, and GET /v1/evals/recent returns
+// the span trees of recent evaluations.
+type TraceSpan = obs.Span
 
 // KernelSpec names a kernel and its parameters (the wire form; see
 // internal/kernels.Spec).
@@ -145,19 +153,34 @@ func statsWire(s fmm.Stats) EvalStats {
 
 // EvaluateResponse carries the potentials (TargetDim components per
 // target, input order) and the per-stage timing of this evaluation.
+// Trace is the evaluation's span tree, present only when the request
+// carried ?trace=1.
 type EvaluateResponse struct {
-	PlanID     string    `json:"plan_id"`
-	Potentials []float64 `json:"potentials"`
-	Stats      EvalStats `json:"stats"`
+	PlanID     string     `json:"plan_id"`
+	Potentials []float64  `json:"potentials"`
+	Stats      EvalStats  `json:"stats"`
+	Trace      *TraceSpan `json:"trace,omitempty"`
 }
 
 // EvaluateBatchResponse carries one potentials vector per density
 // vector (input order preserved) and the aggregate stage timing of the
-// whole batched sweep.
+// whole batched sweep. Trace is present only under ?trace=1.
 type EvaluateBatchResponse struct {
 	PlanID     string      `json:"plan_id"`
 	Potentials [][]float64 `json:"potentials"`
 	Stats      EvalStats   `json:"stats"`
+	Trace      *TraceSpan  `json:"trace,omitempty"`
+}
+
+// RecentEvalsResponse is the JSON body of GET /v1/evals/recent: the
+// span trees of recent evaluations, newest first, from a bounded
+// in-memory ring (Config.TraceRing).
+type RecentEvalsResponse struct {
+	// Total counts evaluations ever traced, including those the ring
+	// has evicted.
+	Total int64 `json:"total"`
+	// Traces holds up to ?n= (default: all retained) span trees.
+	Traces []*TraceSpan `json:"traces"`
 }
 
 // OneShotRequest is the JSON body of POST /v1/evaluate: a plan plus the
@@ -188,12 +211,18 @@ type MetricsSnapshot struct {
 	// quantity Config.CacheBytes bounds).
 	PlansBytes int64 `json:"plans_bytes"`
 	BuildNanos int64 `json:"build_ns"`
-	// Evaluation counters. EvalCanceled counts evaluations aborted by
-	// caller cancellation or deadline (tracked apart from EvalErrors so
-	// a disconnect storm is distinguishable from bad input).
+	// Evaluation counters. Evaluations counts right-hand sides (a batch
+	// of k counts k) and EvalBatches counts engine sweeps. EvalCanceled
+	// counts evaluations aborted by caller cancellation or deadline
+	// (tracked apart from EvalErrors so a disconnect storm is
+	// distinguishable from bad input). NsPerPoint is the most recent
+	// sweep's wall nanoseconds per target point per right-hand side —
+	// the per-point latency batch evaluations used to hide.
 	Evaluations  int64     `json:"evaluations"`
+	EvalBatches  int64     `json:"eval_batches"`
 	EvalErrors   int64     `json:"eval_errors"`
 	EvalCanceled int64     `json:"eval_canceled"`
+	NsPerPoint   float64   `json:"eval_ns_per_point"`
 	Stages       EvalStats `json:"stage_totals"`
 	// Elastic-pool gauges and counters. MaxLanes is the pool capacity
 	// (-max-workers) and MinLanePerEval the admission floor

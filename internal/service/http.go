@@ -6,7 +6,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/errs"
@@ -28,8 +32,13 @@ const StatusClientClosedRequest = 499
 //	POST /v1/plans/{id}/evaluate       densities->potentials   -> EvaluateResponse
 //	POST /v1/plans/{id}/evaluate_batch many densities, 1 sweep -> EvaluateBatchResponse
 //	POST /v1/evaluate                  one-shot plan+eval      -> EvaluateResponse
+//	GET  /v1/evals/recent              recent eval span trees  -> RecentEvalsResponse
 //	GET  /healthz                      liveness                -> HealthResponse
-//	GET  /debug/vars                   expvar + "kifmm" metrics
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /debug/vars                   expvar + "kifmm" metrics (legacy; see /metrics)
+//
+// The evaluation endpoints accept ?trace=1 to echo the request's span
+// tree (wall-clock per pass and tree level) in the response.
 //
 // Every request runs under r.Context() plus the configured per-request
 // deadline (WithEvalTimeout / kifmm-serve's -eval-timeout): a client
@@ -55,6 +64,13 @@ type Server struct {
 	// r.Context(), so whichever of disconnect and deadline comes first
 	// cancels the work.
 	evalTimeout time.Duration
+	// log receives one structured line per request (nil = silent).
+	log *slog.Logger
+	// slowThreshold promotes requests at least this slow to a warning
+	// log line (0 = never).
+	slowThreshold time.Duration
+	pprof         bool
+	reqSeq        atomic.Int64
 }
 
 // ServerOption customizes a Server.
@@ -68,23 +84,112 @@ func WithEvalTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.evalTimeout = d }
 }
 
+// WithLogger makes the server emit one structured slog line per request
+// (route, method, status, duration, request id). Nil disables logging
+// (the default).
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
+}
+
+// WithSlowEvalThreshold logs requests taking at least d at warning
+// level, marked slow=true, so slow evaluations stand out of the request
+// stream (0 disables; requires WithLogger).
+func WithSlowEvalThreshold(d time.Duration) ServerOption {
+	return func(s *Server) { s.slowThreshold = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (kifmm-serve's
+// -pprof flag). Off by default: profiling endpoints expose stacks and
+// heap contents, so they are opt-in.
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
+}
+
 // NewServer wraps svc in an HTTP handler.
 func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
-	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("POST /v1/plans/{id}/evaluate_batch", s.handleEvaluateBatch)
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleOneShot)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.handle("POST /v1/plans", s.handleRegister)
+	s.handle("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
+	s.handle("POST /v1/plans/{id}/evaluate_batch", s.handleEvaluateBatch)
+	s.handle("POST /v1/evaluate", s.handleOneShot)
+	s.handle("GET /v1/evals/recent", s.handleRecentEvals)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /debug/vars", s.handleVars)
+	if s.pprof {
+		// pprof handlers do their own sub-routing on the path suffix;
+		// mount them unwrapped so profile endpoints don't skew the API
+		// request metrics.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handle registers a route wrapped in the observability middleware:
+// per-route request counters and duration histograms, plus an optional
+// structured log line carrying a request id. The route label is the
+// registered pattern, so metrics cardinality is bounded by the route
+// table, not by client-supplied paths.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = "r" + strconv.FormatInt(s.start.UnixNano()%1e9, 36) + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		m := s.svc.m
+		m.httpRequests.With(pattern, strconv.Itoa(sw.status)).Inc()
+		m.httpRequestSeconds.With(pattern).Observe(dur.Seconds())
+		if s.log != nil {
+			attrs := []any{
+				"method", r.Method, "route", pattern, "status", sw.status,
+				"duration_ms", float64(dur.Microseconds()) / 1e3, "request_id", reqID,
+			}
+			if s.slowThreshold > 0 && dur >= s.slowThreshold {
+				s.log.Warn("slow request", append(attrs, "slow", true)...)
+			} else {
+				s.log.Info("request", attrs...)
+			}
+		}
+	})
+}
 
 // requestContext derives the work context for one API request:
 // r.Context() (cancelled when the client disconnects) bounded by the
@@ -191,6 +296,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
+// wantTrace reports whether the request asked for its span tree
+// (?trace=1 or any other truthy strconv.ParseBool spelling).
+func wantTrace(r *http.Request) bool {
+	t, err := strconv.ParseBool(r.URL.Query().Get("trace"))
+	return err == nil && t
+}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req EvaluateRequest
@@ -199,12 +311,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	pot, st, err := s.svc.Evaluate(ctx, id, req.Densities)
+	pot, st, span, err := s.svc.EvaluateTraced(ctx, id, req.Densities)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvaluateResponse{PlanID: id, Potentials: pot, Stats: st})
+	resp := EvaluateResponse{PlanID: id, Potentials: pot, Stats: st}
+	if wantTrace(r) {
+		resp.Trace = span
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
@@ -215,12 +331,16 @@ func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	pots, st, err := s.svc.EvaluateBatch(ctx, id, req.Densities)
+	pots, st, span, err := s.svc.EvaluateBatchTraced(ctx, id, req.Densities)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvaluateBatchResponse{PlanID: id, Potentials: pots, Stats: st})
+	resp := EvaluateBatchResponse{PlanID: id, Potentials: pots, Stats: st}
+	if wantTrace(r) {
+		resp.Trace = span
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
@@ -230,12 +350,45 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	info, pot, st, err := s.svc.EvaluateOnce(ctx, req)
+	info, pot, st, span, err := s.svc.EvaluateOnceTraced(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvaluateResponse{PlanID: info.ID, Potentials: pot, Stats: st})
+	resp := EvaluateResponse{PlanID: info.ID, Potentials: pot, Stats: st}
+	if wantTrace(r) {
+		resp.Trace = span
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRecentEvals serves the span trees of recent evaluations, newest
+// first; ?n= bounds how many (default: all retained in the ring).
+func (s *Server) handleRecentEvals(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, badRequest("n must be a non-negative integer, got %q", q))
+			return
+		}
+		n = v
+	}
+	traces := s.svc.RecentSpans(n)
+	if traces == nil {
+		traces = []*TraceSpan{}
+	}
+	writeJSON(w, http.StatusOK, RecentEvalsResponse{
+		Total:  s.svc.spans.Total(),
+		Traces: traces,
+	})
+}
+
+// handleMetrics renders every registered instrument in Prometheus text
+// exposition format (version 0.0.4) — the scrape endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.MetricsRegistry().WritePrometheus(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -248,13 +401,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleVars serves the process-global expvar variables (cmdline,
 // memstats, anything else published) plus this service's counters under
-// the "kifmm" key, in the standard /debug/vars JSON shape.
+// the "kifmm" key — the pre-/metrics wire shape, kept backward
+// compatible — and the raw obs registry samples under "kifmm_metrics"
+// (metric name -> value, histograms as name_count/name_sum), in the
+// standard /debug/vars JSON shape. Both keys are derived views of the
+// same registry; new consumers should scrape GET /metrics instead.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\n")
 	first := true
 	expvar.Do(func(kv expvar.KeyValue) {
-		if kv.Key == "kifmm" {
+		if kv.Key == "kifmm" || kv.Key == "kifmm_metrics" {
 			return // ours below, from this server's service
 		}
 		if !first {
@@ -263,12 +420,18 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		first = false
 		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
 	})
-	raw, err := json.Marshal(s.svc.Metrics())
-	if err == nil {
+	if raw, err := json.Marshal(s.svc.Metrics()); err == nil {
 		if !first {
 			fmt.Fprintf(w, ",\n")
 		}
+		first = false
 		fmt.Fprintf(w, "%q: %s", "kifmm", raw)
+	}
+	if raw, err := json.Marshal(s.svc.MetricsRegistry().Snapshot()); err == nil {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", "kifmm_metrics", raw)
 	}
 	fmt.Fprintf(w, "\n}\n")
 }

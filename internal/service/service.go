@@ -4,9 +4,7 @@ import (
 	"context"
 	"math"
 	"runtime"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	kifmm "repro"
@@ -14,6 +12,7 @@ import (
 	"repro/internal/fmm"
 	"repro/internal/kernels"
 	"repro/internal/morton"
+	"repro/internal/obs"
 )
 
 // The service speaks the kifmm error taxonomy (internal/errs): every
@@ -75,6 +74,11 @@ type Config struct {
 	// of 1 maximizes throughput; raise it to bound how far per-request
 	// latency degrades under load.
 	MinLanePerEval int
+	// TraceRing is how many recent evaluation span trees are retained
+	// for GET /v1/evals/recent (default 64). Memory is bounded: the
+	// ring holds at most this many finished trees, each a few spans
+	// per tree level.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinLanePerEval > c.MaxWorkers {
 		c.MinLanePerEval = c.MaxWorkers
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 64
 	}
 	return c
 }
@@ -159,17 +166,15 @@ type Service struct {
 	// oversubscribe MaxWorkers lanes.
 	pool *kifmm.Pool
 
-	// widthHist[w] counts evaluations admitted at width w (indices
-	// 1..MaxWorkers) — the per-request granted-width histogram.
-	widthHist []atomic.Int64
+	// m is the observability core: every service counter, gauge and
+	// histogram lives in its registry (internal/obs), rendered as
+	// Prometheus text at GET /metrics and mirrored into the legacy
+	// /debug/vars snapshot by Metrics().
+	m *metrics
 
-	// Counters (atomic.Int64 for guaranteed 64-bit alignment on 32-bit
-	// platforms; see MetricsSnapshot for meanings).
-	hits, misses, built, evicted, coalesced atomic.Int64
-	buildNS                                 atomic.Int64
-	evaluations, evalErrors, evalCanceled   atomic.Int64
-	stageUp, stageDownU, stageDownV,
-	stageDownW, stageDownX, stageEval, flops atomic.Int64
+	// spans retains recent evaluation span trees for GET
+	// /v1/evals/recent; bounded (Config.TraceRing).
+	spans *obs.SpanRing
 }
 
 // New returns a ready Service.
@@ -177,14 +182,27 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	pool := kifmm.NewPool(cfg.MaxWorkers)
 	pool.SetMinGrant(cfg.MinLanePerEval)
-	return &Service{
-		cfg:       cfg,
-		cache:     newPlanCache(cfg.CacheSize, cfg.CacheBytes),
-		building:  make(map[string]*buildCall),
-		pool:      pool,
-		widthHist: make([]atomic.Int64, cfg.MaxWorkers+1),
+	s := &Service{
+		cfg:      cfg,
+		cache:    newPlanCache(cfg.CacheSize, cfg.CacheBytes),
+		building: make(map[string]*buildCall),
+		pool:     pool,
+		spans:    obs.NewSpanRing(cfg.TraceRing),
 	}
+	s.m = newMetrics(s)
+	pool.SetAcquireObserver(func(wait time.Duration, _ int) {
+		s.m.leaseWaitSeconds.Observe(wait.Seconds())
+	})
+	return s
 }
+
+// MetricsRegistry exposes the service's observability registry — the
+// source GET /metrics renders and tests introspect.
+func (s *Service) MetricsRegistry() *obs.Registry { return s.m.reg }
+
+// RecentSpans returns up to n recent evaluation span trees, newest
+// first (n <= 0 means all retained).
+func (s *Service) RecentSpans(n int) []*obs.Span { return s.spans.Recent(n) }
 
 // Register resolves req to a cached plan or builds one, coalescing
 // concurrent builds of the same key into a single construction. ctx
@@ -216,19 +234,19 @@ func (s *Service) register(ctx context.Context, req PlanRequest) (*plan, bool, e
 
 	s.mu.Lock()
 	if p, ok := s.cache.get(key); ok {
-		s.hits.Add(1)
+		s.m.cacheHits.Inc()
 		s.mu.Unlock()
 		return p, true, nil
 	}
 	if c, ok := s.building[key]; ok && c.join() {
-		s.coalesced.Add(1)
+		s.m.coalesced.Inc()
 		s.mu.Unlock()
 		return s.await(ctx, c, true)
 	}
 	// No build in flight (or only an orphaned one whose cancellation is
 	// racing its cleanup): start a fresh one. Replacing the map entry is
 	// safe — the orphaned build's cleanup only deletes its own entry.
-	s.misses.Add(1)
+	s.m.cacheMisses.Inc()
 	bctx, cancel := context.WithCancel(context.Background())
 	c := &buildCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	s.building[key] = c
@@ -271,11 +289,11 @@ func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, t
 			delete(s.building, key)
 		}
 		if c.err == nil {
-			s.built.Add(1)
-			s.buildNS.Add(c.plan.buildNS)
+			s.m.plansBuilt.Inc()
+			s.m.planBuildSeconds.Observe(float64(c.plan.buildNS) / 1e9)
 			// The cache closes victims as it evicts them (accounting
 			// only; they stay usable for in-flight evaluations).
-			s.evicted.Add(int64(len(s.cache.add(c.plan))))
+			s.m.evictions.Add(int64(len(s.cache.add(c.plan))))
 		}
 		s.mu.Unlock()
 		close(c.done)
@@ -439,9 +457,17 @@ func (s *Service) lookup(planID string) (*plan, error) {
 // cancellation or deadline aborts the engine sweep within one pass and
 // returns the typed error (ErrCanceled / ErrDeadlineExceeded).
 func (s *Service) Evaluate(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, error) {
+	pot, st, _, err := s.EvaluateTraced(ctx, planID, den)
+	return pot, st, err
+}
+
+// EvaluateTraced is Evaluate also returning the evaluation's span tree
+// (wall-clock intervals per pass and tree level; nil on error). The
+// same tree is retained in the recent-evaluations ring.
+func (s *Service) EvaluateTraced(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, *obs.Span, error) {
 	p, err := s.lookup(planID)
 	if err != nil {
-		return nil, EvalStats{}, err
+		return nil, EvalStats{}, nil, err
 	}
 	return s.evaluatePlan(ctx, p, den)
 }
@@ -451,23 +477,30 @@ func (s *Service) Evaluate(ctx context.Context, planID string, den []float64) ([
 // near-field kernel evaluations across the batch. It occupies one
 // worker slot regardless of batch size.
 func (s *Service) EvaluateBatch(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, error) {
+	pots, st, _, err := s.EvaluateBatchTraced(ctx, planID, dens)
+	return pots, st, err
+}
+
+// EvaluateBatchTraced is EvaluateBatch also returning the sweep's span
+// tree (nil on error); see EvaluateTraced.
+func (s *Service) EvaluateBatchTraced(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, *obs.Span, error) {
 	p, err := s.lookup(planID)
 	if err != nil {
-		return nil, EvalStats{}, err
+		return nil, EvalStats{}, nil, err
 	}
 	if len(dens) == 0 {
-		s.evalErrors.Add(1)
-		return nil, EvalStats{}, badRequest("batch needs at least one density vector")
+		s.m.evalErrors.Inc()
+		return nil, EvalStats{}, nil, badRequest("batch needs at least one density vector")
 	}
 	if len(dens) > maxBatchSize {
-		s.evalErrors.Add(1)
-		return nil, EvalStats{}, tooLarge("batch of %d density vectors exceeds the limit %d", len(dens), maxBatchSize)
+		s.m.evalErrors.Inc()
+		return nil, EvalStats{}, nil, tooLarge("batch of %d density vectors exceeds the limit %d", len(dens), maxBatchSize)
 	}
 	want := p.srcCount * p.sourceDim
 	for q, den := range dens {
 		if len(den) != want {
-			s.evalErrors.Add(1)
-			return nil, EvalStats{}, badRequest("densities[%d] length %d, want %d (%d sources x %d components)",
+			s.m.evalErrors.Inc()
+			return nil, EvalStats{}, nil, badRequest("densities[%d] length %d, want %d (%d sources x %d components)",
 				q, len(den), want, p.srcCount, p.sourceDim)
 		}
 	}
@@ -475,48 +508,57 @@ func (s *Service) EvaluateBatch(ctx context.Context, planID string, dens [][]flo
 }
 
 // evaluatePlan validates and runs a single-vector evaluation.
-func (s *Service) evaluatePlan(ctx context.Context, p *plan, den []float64) ([]float64, EvalStats, error) {
+func (s *Service) evaluatePlan(ctx context.Context, p *plan, den []float64) ([]float64, EvalStats, *obs.Span, error) {
 	if want := p.srcCount * p.sourceDim; len(den) != want {
-		s.evalErrors.Add(1)
-		return nil, EvalStats{}, badRequest("densities length %d, want %d (%d sources x %d components)",
+		s.m.evalErrors.Inc()
+		return nil, EvalStats{}, nil, badRequest("densities length %d, want %d (%d sources x %d components)",
 			len(den), want, p.srcCount, p.sourceDim)
 	}
-	pots, st, err := s.runEval(ctx, p, [][]float64{den})
+	pots, st, span, err := s.runEval(ctx, p, [][]float64{den})
 	if err != nil {
-		return nil, EvalStats{}, err
+		return nil, EvalStats{}, nil, err
 	}
-	return pots[0], st, nil
+	return pots[0], st, span, nil
 }
 
 // runEval executes one (possibly batched) evaluation. Admission is
 // lease acquisition: the engine leases the call's lane width from the
-// service pool inside EvaluateBatchStatsCtx, queueing — and honoring
+// service pool inside the traced evaluate, queueing — and honoring
 // ctx — when not even MinLanePerEval lanes are free (a caller that
 // disconnects while queued never occupies a lane). Evaluation is
 // read-only on plan state, so concurrent calls sharing a plan need no
 // per-plan serialization.
-func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]float64, EvalStats, error) {
-	pots, st, err := func() (pots [][]float64, st fmm.Stats, err error) {
+//
+// Every evaluation is traced (a handful of small allocations per call):
+// the finished span tree lands in the recent-evaluations ring and is
+// returned so the HTTP layer can echo it on ?trace=1.
+func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]float64, EvalStats, *obs.Span, error) {
+	start := time.Now()
+	pots, st, span, err := func() (pots [][]float64, st fmm.Stats, span *obs.Span, err error) {
 		// A panic in the numeric evaluation path becomes a typed
 		// internal error (the engine's lease is released by its own
 		// defer even then).
 		defer func() {
 			if r := recover(); r != nil {
-				pots, err = nil, errs.Newf(errs.CodeInternal, "service: evaluation panicked: %v", r)
+				pots, span, err = nil, nil, errs.Newf(errs.CodeInternal, "service: evaluation panicked: %v", r)
 			}
 		}()
-		return p.ev.EvaluateBatchStatsCtx(ctx, dens)
+		return p.ev.EvaluateBatchTracedCtx(ctx, dens)
 	}()
 	if err != nil {
 		if code, _ := errs.CodeOf(errs.FromContext(err)); code == errs.CodeCanceled || code == errs.CodeDeadlineExceeded {
-			s.evalCanceled.Add(1)
+			s.m.evalCanceled.Inc()
 		} else {
-			s.evalErrors.Add(1)
+			s.m.evalErrors.Inc()
 		}
-		return nil, EvalStats{}, errs.Typed(err, errs.CodeInvalidInput)
+		return nil, EvalStats{}, nil, errs.Typed(err, errs.CodeInvalidInput)
 	}
-	s.recordStats(st, len(dens))
-	return pots, statsWire(st), nil
+	s.m.recordEval(st, len(dens), p.trgCount, time.Since(start))
+	// The tree is still private to this goroutine: attach identifying
+	// attributes before publishing it to the ring makes it shared.
+	span.SetAttr("plan_id", p.id)
+	s.spans.Add(span)
+	return pots, statsWire(st), span, nil
 }
 
 // EvaluateOnce registers (or resolves) the plan and evaluates in one
@@ -524,15 +566,22 @@ func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]f
 // against the plan returned by registration, so it cannot miss even if
 // the plan is concurrently evicted from the cache.
 func (s *Service) EvaluateOnce(ctx context.Context, req OneShotRequest) (PlanInfo, []float64, EvalStats, error) {
+	info, pot, st, _, err := s.EvaluateOnceTraced(ctx, req)
+	return info, pot, st, err
+}
+
+// EvaluateOnceTraced is EvaluateOnce also returning the evaluation's
+// span tree (nil on error); see EvaluateTraced.
+func (s *Service) EvaluateOnceTraced(ctx context.Context, req OneShotRequest) (PlanInfo, []float64, EvalStats, *obs.Span, error) {
 	p, cached, err := s.register(ctx, req.PlanRequest)
 	if err != nil {
-		return PlanInfo{}, nil, EvalStats{}, err
+		return PlanInfo{}, nil, EvalStats{}, nil, err
 	}
-	pot, st, err := s.evaluatePlan(ctx, p, req.Densities)
+	pot, st, span, err := s.evaluatePlan(ctx, p, req.Densities)
 	if err != nil {
-		return PlanInfo{}, nil, EvalStats{}, err
+		return PlanInfo{}, nil, EvalStats{}, nil, err
 	}
-	return p.info(cached), pot, st, nil
+	return p.info(cached), pot, st, span, nil
 }
 
 // Plans returns the number of live cached plans.
@@ -549,35 +598,26 @@ func (s *Service) PlansBytes() int64 {
 	return s.cache.totalBytes()
 }
 
-func (s *Service) recordStats(st fmm.Stats, evals int) {
-	s.evaluations.Add(int64(evals))
-	if w := st.Lanes; w >= 1 && w < len(s.widthHist) {
-		s.widthHist[w].Add(1)
-	}
-	s.stageUp.Add(st.Up.Nanoseconds())
-	s.stageDownU.Add(st.DownU.Nanoseconds())
-	s.stageDownV.Add(st.DownV.Nanoseconds())
-	s.stageDownW.Add(st.DownW.Nanoseconds())
-	s.stageDownX.Add(st.DownX.Nanoseconds())
-	s.stageEval.Add(st.Eval.Nanoseconds())
-	s.flops.Add(st.Flops())
-}
-
-// Metrics returns a consistent-enough snapshot of the service counters.
+// Metrics returns a consistent-enough snapshot of the service counters
+// — the legacy /debug/vars "kifmm" wire shape, now a derived view of
+// the obs registry (GET /metrics renders the same instruments as
+// Prometheus text). Stage nanoseconds are reconstructed from the
+// per-stage histogram sums, so they round through float64 seconds.
 func (s *Service) Metrics() MetricsSnapshot {
-	up := s.stageUp.Load()
-	du := s.stageDownU.Load()
-	dv := s.stageDownV.Load()
-	dw := s.stageDownW.Load()
-	dx := s.stageDownX.Load()
-	ev := s.stageEval.Load()
+	m := s.m
+	up := m.stageNanos("up")
+	du := m.stageNanos("down_u")
+	dv := m.stageNanos("down_v")
+	dw := m.stageNanos("down_w")
+	dx := m.stageNanos("down_x")
+	ev := m.stageNanos("eval")
 	s.mu.Lock()
 	live, liveBytes := s.cache.len(), s.cache.totalBytes()
 	s.mu.Unlock()
 	hist := make(map[string]int64)
-	for w := 1; w < len(s.widthHist); w++ {
-		if n := s.widthHist[w].Load(); n > 0 {
-			hist[strconv.Itoa(w)] = n
+	for w, n := range m.grantedWidth.Snapshot() {
+		if n > 0 {
+			hist[w] = n
 		}
 	}
 	return MetricsSnapshot{
@@ -586,22 +626,24 @@ func (s *Service) Metrics() MetricsSnapshot {
 		LanesInUse:        s.pool.LanesInUse(),
 		LanesGrantedTotal: s.pool.LanesGranted(),
 		GrantedWidthHist:  hist,
-		CacheHits:         s.hits.Load(),
-		CacheMisses:       s.misses.Load(),
-		PlansBuilt:        s.built.Load(),
-		PlansEvicted:      s.evicted.Load(),
-		BuildCoalesced:    s.coalesced.Load(),
+		CacheHits:         m.cacheHits.Value(),
+		CacheMisses:       m.cacheMisses.Value(),
+		PlansBuilt:        m.plansBuilt.Value(),
+		PlansEvicted:      m.evictions.Value(),
+		BuildCoalesced:    m.coalesced.Value(),
 		PlansLive:         live,
 		PlansBytes:        liveBytes,
-		BuildNanos:        s.buildNS.Load(),
-		Evaluations:       s.evaluations.Load(),
-		EvalErrors:        s.evalErrors.Load(),
-		EvalCanceled:      s.evalCanceled.Load(),
+		BuildNanos:        int64(m.planBuildSeconds.Sum() * 1e9),
+		Evaluations:       m.evaluations.Value(),
+		EvalBatches:       m.evalBatches.Value(),
+		EvalErrors:        m.evalErrors.Value(),
+		EvalCanceled:      m.evalCanceled.Value(),
+		NsPerPoint:        m.evalNsPerPoint.Value(),
 		Stages: EvalStats{
 			UpNanos: up, DownUNanos: du, DownVNanos: dv,
 			DownWNanos: dw, DownXNanos: dx, EvalNanos: ev,
 			TotalNanos: up + du + dv + dw + dx + ev,
-			Flops:      s.flops.Load(),
+			Flops:      m.flops.Value(),
 		},
 	}
 }

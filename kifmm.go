@@ -53,6 +53,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/parfmm"
 )
 
@@ -229,6 +230,16 @@ func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, fmm.Stats
 // stage breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStatsCtx(ctx context.Context, dens [][]float64) ([][]float64, fmm.Stats, error) {
 	return e.inner.EvaluateBatchStatsCtx(ctx, dens)
+}
+
+// EvaluateBatchTracedCtx is EvaluateBatchStatsCtx plus a wall-clock
+// trace: the returned span tree records the evaluation (root), each
+// pass (permute/up/down/leaf/unpermute) and each tree level within the
+// up and down passes. Pass spans are wall time of the parallel sweep,
+// while Stats stages sum compute time across lanes — they agree only at
+// width 1. The tree is finished and owned by the caller.
+func (e *Evaluator) EvaluateBatchTracedCtx(ctx context.Context, dens [][]float64) ([][]float64, fmm.Stats, *obs.Span, error) {
+	return e.inner.EvaluateBatchTracedCtx(ctx, dens)
 }
 
 // Stats returns the per-stage timing and flop breakdown of the most

@@ -2,6 +2,7 @@ package kifmm
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/fmm"
@@ -75,6 +76,15 @@ func (p *Pool) LanesGranted() int64 { return p.e.GrantedLanes() }
 
 // LeasesGranted returns the number of admissions.
 func (p *Pool) LeasesGranted() int64 { return p.e.GrantedLeases() }
+
+// SetAcquireObserver installs a callback run after each admission (an
+// evaluation's lease or an embedder Acquire) with the time the caller
+// spent queued and the width it was granted — the hook a lease-wait
+// histogram hangs off. The callback must be cheap and non-blocking;
+// pass nil to remove it.
+func (p *Pool) SetAcquireObserver(fn func(wait time.Duration, granted int)) {
+	p.e.SetAcquireObserver(fn)
+}
 
 // Acquire leases want lanes (want <= 0 means the full capacity) for
 // work an embedder schedules alongside evaluations — e.g. the
