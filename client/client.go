@@ -38,6 +38,7 @@ import (
 
 	kifmm "repro"
 	"repro/internal/errs"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -250,6 +251,44 @@ func (c *Client) RecentEvals(ctx context.Context, n int) (RecentEvalsResponse, e
 	return resp, err
 }
 
+// RecentEvalsByTrace fetches only the evaluations that ran under the
+// given W3C trace id (?trace_id= server-side filter), newest first; n
+// caps how many (0 = all). Pair it with WithTraceparent to retrieve
+// exactly the evaluations a distributed caller initiated.
+func (c *Client) RecentEvalsByTrace(ctx context.Context, traceID string, n int) (RecentEvalsResponse, error) {
+	var resp RecentEvalsResponse
+	path := "/v1/evals/recent?trace_id=" + url.QueryEscape(traceID)
+	if n > 0 {
+		path += "&n=" + url.QueryEscape(fmt.Sprint(n))
+	}
+	err := c.get(ctx, path, &resp)
+	return resp, err
+}
+
+// traceparentKey stashes an explicit traceparent header in a context.
+type traceparentKey struct{}
+
+// WithTraceparent returns a context that makes every request carry the
+// given W3C traceparent header ("00-<trace-id>-<span-id>-<flags>"), so
+// the server adopts the caller's trace id and records the caller's span
+// as the evaluate span's parent. Without it the client generates a
+// fresh trace context per request; an invalid header falls back the
+// same way (the server would reject it anyway, never the request).
+func WithTraceparent(ctx context.Context, header string) context.Context {
+	return context.WithValue(ctx, traceparentKey{}, header)
+}
+
+// traceparent resolves the header to send: the context's explicit (and
+// valid) traceparent, or a freshly generated trace context.
+func traceparent(ctx context.Context) string {
+	if h, ok := ctx.Value(traceparentKey{}).(string); ok {
+		if _, err := obs.ParseTraceparent(h); err == nil {
+			return h
+		}
+	}
+	return obs.NewTraceContext().Traceparent()
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -260,6 +299,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", traceparent(ctx))
 	return c.do(req, out)
 }
 
@@ -268,6 +308,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set("Traceparent", traceparent(ctx))
 	return c.do(req, out)
 }
 

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	kifmm "repro"
+	"repro/internal/obs"
+)
+
+// TestTraceparentRoundTrip drives the W3C trace-context propagation end
+// to end: the client sends a traceparent, the server adopts the trace
+// id, and /v1/evals/recent?trace_id= retrieves exactly that evaluation
+// with the caller's span as the parent.
+func TestTraceparentRoundTrip(t *testing.T) {
+	c := startServer(t)
+
+	pts := kifmm.FlattenPatches(kifmm.UniformPatches(21, 250))
+	den := kifmm.RandomDensities(22, len(pts)/3, 1)
+	plan, err := c.RegisterPlan(context.Background(), PlanRequest{
+		Src: pts, Kernel: KernelSpec{Name: "laplace"}, Degree: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caller := obs.NewTraceContext()
+	ctx := WithTraceparent(context.Background(), caller.Traceparent())
+	if _, _, err := c.Evaluate(ctx, plan.ID, den); err != nil {
+		t.Fatal(err)
+	}
+	// A second evaluation under a different (auto-generated) trace must
+	// not show up in the filtered view.
+	if _, _, err := c.Evaluate(context.Background(), plan.ID, den); err != nil {
+		t.Fatal(err)
+	}
+
+	recent, err := c.RecentEvalsByTrace(context.Background(), caller.TraceID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recent.Total != 2 {
+		t.Errorf("recent.Total = %d, want 2 (filter narrows traces, not the total)", recent.Total)
+	}
+	if len(recent.Traces) != 1 {
+		t.Fatalf("len(recent.Traces) = %d, want exactly the traced evaluation", len(recent.Traces))
+	}
+	sp := recent.Traces[0]
+	if sp.Attrs["trace_id"] != caller.TraceID {
+		t.Errorf("trace_id = %q, want %q", sp.Attrs["trace_id"], caller.TraceID)
+	}
+	if sp.Attrs["parent_span_id"] != caller.SpanID {
+		t.Errorf("parent_span_id = %q, want the caller's span %q", sp.Attrs["parent_span_id"], caller.SpanID)
+	}
+	if sp.Attrs["request_id"] == "" {
+		t.Error("span missing request_id (the request-log join key)")
+	}
+}
+
+// TestTraceparentMalformedFallsBack checks that a bogus caller-supplied
+// traceparent degrades to a fresh client-generated trace, never an
+// error: the request succeeds and the evaluation lands under a valid
+// generated trace id (the server-side fallback for wires that bypass
+// this client is covered in the service tests).
+func TestTraceparentMalformedFallsBack(t *testing.T) {
+	c := startServer(t)
+
+	pts := kifmm.FlattenPatches(kifmm.UniformPatches(23, 250))
+	den := kifmm.RandomDensities(24, len(pts)/3, 1)
+	plan, err := c.RegisterPlan(context.Background(), PlanRequest{
+		Src: pts, Kernel: KernelSpec{Name: "laplace"}, Degree: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := WithTraceparent(context.Background(), "zz-definitely-not-a-traceparent")
+	if _, _, err := c.Evaluate(ctx, plan.ID, den); err != nil {
+		t.Fatalf("malformed traceparent must not fail the request: %v", err)
+	}
+
+	recent, err := c.RecentEvals(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Traces) != 1 {
+		t.Fatalf("len(recent.Traces) = %d, want 1", len(recent.Traces))
+	}
+	sp := recent.Traces[0]
+	if _, err := obs.ParseTraceparent("00-" + sp.Attrs["trace_id"] + "-" + obs.NewSpanID() + "-01"); err != nil {
+		t.Errorf("trace_id = %q, want a valid generated 32-hex id: %v", sp.Attrs["trace_id"], err)
+	}
+}

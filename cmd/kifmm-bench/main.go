@@ -13,6 +13,13 @@
 // degree 6, FFT M2L) and appends a schema'd entry — git SHA, date,
 // per-stage ms, flops, granted lanes — to BENCH_trajectory.json
 // (-trajectory-file), so performance is comparable across commits.
+//
+// `kifmm-bench -exp parfmm-trace` runs a deterministic 4-rank traced
+// distributed evaluation, prints the per-rank/per-pass virtual-time
+// breakdown and critical-path summary, and writes the merged timeline
+// as Chrome trace-event JSON (-trace-out; load it in Perfetto or
+// chrome://tracing). Combine with -trajectory to also append a sample
+// carrying the distributed fields (ranks, comm traffic, critical path).
 package main
 
 import (
@@ -25,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table4.1, fig4.2, table4.2, fig4.3, table4.3, ablation-m2l, exec-workers, all)")
+	exp := flag.String("exp", "all", "experiment id (table4.1, fig4.2, table4.2, fig4.3, table4.3, ablation-m2l, exec-workers, parfmm-trace, all)")
 	scale := flag.Float64("scale", 1, "multiply the default particle counts by this factor")
 	iters := flag.Int("iters", 1, "average the interaction evaluation over this many iterations")
 	maxP := flag.Int("maxp", 0, "cap the processor sweep at this rank count (0 = default sweep)")
@@ -34,7 +41,14 @@ func main() {
 	trajFile := flag.String("trajectory-file", "BENCH_trajectory.json", "trajectory file to append to (with -trajectory)")
 	trajN := flag.Int("trajectory-n", 0, "trajectory workload size (0 = default 10000)")
 	label := flag.String("label", "", "free-form tag stored with the trajectory entry")
+	traceOut := flag.String("trace-out", "parfmm-trace.json", "Chrome trace-event output file (with -exp parfmm-trace)")
+	traceRanks := flag.Int("trace-ranks", 0, "simulated rank count for -exp parfmm-trace (0 = default 4)")
 	flag.Parse()
+
+	if *exp == "parfmm-trace" {
+		runParfmmTrace(*traceOut, *traceRanks, *trajN, *iters, *traj, *trajFile, *label)
+		return
+	}
 
 	if *traj {
 		entry, err := harness.RunTrajectoryPoint(harness.TrajectoryConfig{
@@ -58,6 +72,8 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("%-14s %s\n", e.ID, e.Description)
 		}
+		fmt.Printf("%-14s %s\n", "parfmm-trace",
+			"traced 4-rank distributed run: per-pass breakdown, critical path, Chrome trace JSON")
 		return
 	}
 
@@ -96,6 +112,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runParfmmTrace executes the traced distributed experiment, prints its
+// breakdown table, writes the Chrome trace file, and (with -trajectory)
+// appends a distributed trajectory sample.
+func runParfmmTrace(traceOut string, ranks, n, iters int, traj bool, trajFile, label string) {
+	start := time.Now()
+	rep, err := harness.RunParfmmTrace(harness.ParfmmTraceConfig{
+		Ranks: ranks, N: n, Iterations: iters,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Table)
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.Timeline.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", traceOut)
+	if traj {
+		entry := harness.ParfmmTrajectoryEntry(rep, label)
+		if err := harness.AppendTrajectory(trajFile, entry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended to %s: sha=%s ranks=%d critical_path=%.1fms comm=%dB/%d msgs\n",
+			trajFile, entry.GitSHA, entry.Ranks, entry.CriticalPathMS, entry.CommBytes, entry.CommMsgs)
+	}
+	fmt.Printf("[parfmm-trace completed in %s]\n", harness.Elapse(start))
 }
 
 func capProcs(ps []int, max int) []int {

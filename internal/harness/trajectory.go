@@ -50,6 +50,14 @@ type TrajectoryEntry struct {
 	GrantedLanes int `json:"granted_lanes"`
 	// NsPerPoint is WallMS normalized per target point.
 	NsPerPoint float64 `json:"ns_per_point"`
+	// Ranks, CommBytes, CommMsgs and CriticalPathMS describe distributed
+	// (parfmm) samples: simulated rank count, point-to-point traffic of
+	// the run, and the merged timeline's critical-path duration. Absent
+	// (zero) for single-process samples.
+	Ranks          int     `json:"ranks,omitempty"`
+	CommBytes      int64   `json:"comm_bytes,omitempty"`
+	CommMsgs       int64   `json:"comm_msgs,omitempty"`
+	CriticalPathMS float64 `json:"critical_path_ms,omitempty"`
 }
 
 // TrajectoryFile is the JSON shape of BENCH_trajectory.json: a schema

@@ -58,8 +58,72 @@ type message struct {
 	src, tag int
 	data     any
 	bytes    int
+	sent     time.Duration // sender's virtual clock at enqueue completion
 	avail    time.Duration // virtual time at which the payload is available
 }
+
+// EventKind discriminates communication-ledger events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventSend is a point-to-point send (never blocks in this model).
+	EventSend EventKind = iota
+	// EventRecv is a blocking point-to-point receive.
+	EventRecv
+	// EventCollective is one rank's participation in a collective.
+	EventCollective
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	case EventCollective:
+		return "collective"
+	}
+	return "unknown"
+}
+
+// Event is one communication-ledger record, delivered to the observer
+// installed with SetObserver as the operation completes. All times are
+// the recording rank's virtual clock (offsets from the run origin),
+// except Sent and DepTime, which are on the dependency rank's clock.
+type Event struct {
+	Kind EventKind
+	// Rank is the recording rank; Peer the destination (send) or
+	// source (recv), -1 for collectives.
+	Rank, Peer int
+	// Tag is the point-to-point tag, or the collective sequence number.
+	Tag   int
+	Bytes int
+	// Start/End delimit the operation on the recording rank's clock.
+	Start, End time.Duration
+	// Sent is the sender's clock at enqueue completion; Avail when the
+	// payload became deliverable (Sent + latency). Send events carry
+	// their own enqueue/delivery times here; collectives leave both 0.
+	Sent, Avail time.Duration
+	// Wait is the blocked virtual time: for a recv, until the payload
+	// arrived; for a collective, until the last rank entered and the
+	// synchronization cost elapsed.
+	Wait time.Duration
+	// DepRank/DepTime name the cross-rank dependency a blocked
+	// operation waited on (the sender at its enqueue time, or the last
+	// rank to enter a collective at its entry time); DepRank is -1 when
+	// the operation did not block on another rank.
+	DepRank int
+	DepTime time.Duration
+}
+
+// SetObserver installs fn as this rank's communication observer: every
+// Send, Recv and collective reports an Event as it completes, on the
+// rank's own goroutine (mirroring Elastic.SetAcquireObserver — the
+// callback must be cheap and non-blocking). A nil fn removes the
+// observer. Must be called from the rank's goroutine.
+func (c *Comm) SetObserver(fn func(Event)) { c.observer = fn }
 
 // Comm is one rank's communicator handle. Methods must only be called
 // from the rank's own goroutine.
@@ -76,6 +140,8 @@ type Comm struct {
 	msgsSent  int64
 	collSeq   int
 	done      bool
+
+	observer func(Event)
 }
 
 // Rank returns this rank's id in [0, Size).

@@ -27,6 +27,8 @@ type collective struct {
 	inputs  []any
 	result  any
 	exit    time.Duration
+	bytes   int // modeled per-rank data volume
+	last    int // rank with the latest entry (the synchronization dependency)
 	done    chan struct{}
 }
 
@@ -65,10 +67,16 @@ func (c *Comm) Send(dst, tag int, data any, bytes int) {
 	c.bytesSent += int64(bytes)
 	c.msgsSent++
 	c.lastReal = time.Now()
+	if c.observer != nil {
+		c.observer(Event{
+			Kind: EventSend, Rank: c.rank, Peer: dst, Tag: tag, Bytes: bytes,
+			Start: start, End: c.clock, Sent: c.clock, Avail: avail, DepRank: -1,
+		})
+	}
 
 	n := c.net
 	n.mu.Lock()
-	n.boxes[dst] = append(n.boxes[dst], message{src: c.rank, tag: tag, data: data, bytes: bytes, avail: avail})
+	n.boxes[dst] = append(n.boxes[dst], message{src: c.rank, tag: tag, data: data, bytes: bytes, sent: c.clock, avail: avail})
 	n.mu.Unlock()
 	select {
 	case n.wake[dst] <- struct{}{}:
@@ -94,13 +102,26 @@ func (c *Comm) Recv(src, tag int) any {
 				msg := box[i]
 				n.boxes[c.rank] = append(box[:i:i], box[i+1:]...)
 				n.mu.Unlock()
+				var wait time.Duration
 				if msg.avail > c.clock {
+					wait = msg.avail - c.clock
 					c.clock = msg.avail
 				}
 				c.clock += n.machine.RecvOverhead
 				c.commTime += c.clock - start
 				c.bytesRecv += int64(msg.bytes)
 				c.lastReal = time.Now()
+				if c.observer != nil {
+					ev := Event{
+						Kind: EventRecv, Rank: c.rank, Peer: src, Tag: tag, Bytes: msg.bytes,
+						Start: start, End: c.clock, Sent: msg.sent, Avail: msg.avail,
+						Wait: wait, DepRank: -1,
+					}
+					if wait > 0 {
+						ev.DepRank, ev.DepTime = msg.src, msg.sent
+					}
+					c.observer(ev)
+				}
 				return msg.data
 			}
 		}
@@ -145,10 +166,12 @@ func (c *Comm) runCollective(inputs any, combine func(all []any) (any, int)) any
 	if last {
 		result, bytes := combine(coll.inputs)
 		coll.result = result
+		coll.bytes = bytes
 		exit := time.Duration(0)
-		for _, e := range coll.entries {
+		for r, e := range coll.entries {
 			if e > exit {
 				exit = e
+				coll.last = r
 			}
 		}
 		steps := ceilLog2(n.size)
@@ -165,6 +188,13 @@ func (c *Comm) runCollective(inputs any, combine func(all []any) (any, int)) any
 	c.clock = coll.exit
 	c.commTime += c.clock - start
 	c.lastReal = time.Now()
+	if c.observer != nil {
+		c.observer(Event{
+			Kind: EventCollective, Rank: c.rank, Peer: -1, Tag: seq, Bytes: coll.bytes,
+			Start: start, End: c.clock, Wait: c.clock - start,
+			DepRank: coll.last, DepTime: coll.entries[coll.last],
+		})
+	}
 	return coll.result
 }
 

@@ -1,0 +1,573 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file is the distributed half of the tracing layer: per-rank
+// virtual-time span trees (VSpan/RankTimeline), the communication
+// ledger (MsgRecord), and the merged Timeline with critical-path
+// extraction, a load-imbalance report, and Chrome trace-event export.
+//
+// Distributed runs are simulated on virtual clocks (internal/mpi), so
+// these spans carry time.Duration offsets from the run origin rather
+// than the wall-clock time.Time of Span — a deliberate split: wall
+// spans serve live requests, virtual spans serve the rank timelines
+// whose absolute epoch is meaningless.
+
+// VSpan is one node of a per-rank virtual-time span tree: a named
+// interval of a rank's virtual clock, with optional string attributes.
+// Methods are nil-safe so untraced runs thread nil spans at zero cost.
+type VSpan struct {
+	Name string `json:"name"`
+	Rank int    `json:"rank"`
+	// Start and End are virtual-clock offsets from the run origin.
+	Start    time.Duration     `json:"start_ns"`
+	End      time.Duration     `json:"end_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*VSpan          `json:"children,omitempty"`
+}
+
+// SetAttr attaches a string attribute (nil-safe).
+func (s *VSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[k] = v
+}
+
+// Dur returns the span's length (0 for nil or unclosed spans).
+func (s *VSpan) Dur() time.Duration {
+	if s == nil || s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Find returns the first descendant (depth-first, s included) with the
+// given name, or nil.
+func (s *VSpan) Find(name string) *VSpan {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// MsgKind discriminates communication-ledger records.
+type MsgKind uint8
+
+// Ledger record kinds.
+const (
+	// MsgSend is a point-to-point send (non-blocking in the eager model).
+	MsgSend MsgKind = iota
+	// MsgRecv is a blocking point-to-point receive.
+	MsgRecv
+	// MsgCollective is one rank's participation in a collective.
+	MsgCollective
+)
+
+// String names the kind for reports and trace exports.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgSend:
+		return "send"
+	case MsgRecv:
+		return "recv"
+	case MsgCollective:
+		return "collective"
+	}
+	return "unknown"
+}
+
+// MsgRecord is one entry of a rank's communication ledger: a send,
+// receive or collective with its virtual-time interval and — for
+// blocking operations — the cross-rank dependency that ended the wait.
+type MsgRecord struct {
+	Kind MsgKind `json:"kind"`
+	// Rank is the recording rank; Peer the destination (send) or source
+	// (recv), -1 for collectives.
+	Rank int `json:"rank"`
+	Peer int `json:"peer"`
+	// Tag is the point-to-point tag, or the collective sequence number.
+	Tag   int `json:"tag"`
+	Bytes int `json:"bytes"`
+	// Start/End delimit the operation on the recording rank's clock.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Sent is the sender's clock when the payload finished enqueueing
+	// (recv records only); Sent + latency is the delivery time.
+	Sent time.Duration `json:"sent_ns,omitempty"`
+	// Wait is how long the operation blocked (recv: until the payload
+	// arrived; collective: until the last rank entered and the
+	// synchronization cost elapsed).
+	Wait time.Duration `json:"wait_ns,omitempty"`
+	// DepRank/DepTime name the cross-rank dependency a blocked
+	// operation waited on: the sender at its enqueue time, or the last
+	// rank to enter a collective at its entry time. DepRank is -1 when
+	// the operation did not block on another rank.
+	DepRank int           `json:"dep_rank"`
+	DepTime time.Duration `json:"dep_time_ns,omitempty"`
+}
+
+// RankTimeline accumulates one rank's span tree and message ledger
+// while the rank runs. It is used by a single rank goroutine; the
+// merged Timeline is read only after the run completes.
+type RankTimeline struct {
+	Rank int         `json:"rank"`
+	Root *VSpan      `json:"root"`
+	Msgs []MsgRecord `json:"msgs"`
+
+	stack []*VSpan
+}
+
+// NewRankTimeline opens a timeline for one rank, rooted at a "rank"
+// span starting at virtual time zero.
+func NewRankTimeline(rank int) *RankTimeline {
+	return &RankTimeline{Rank: rank, Root: &VSpan{Name: "rank", Rank: rank}}
+}
+
+// Begin opens a child span at virtual time `at` under the innermost
+// open span (nil-safe: returns nil on a nil timeline).
+func (rt *RankTimeline) Begin(name string, at time.Duration) *VSpan {
+	if rt == nil {
+		return nil
+	}
+	parent := rt.Root
+	if n := len(rt.stack); n > 0 {
+		parent = rt.stack[n-1]
+	}
+	sp := &VSpan{Name: name, Rank: rt.Rank, Start: at}
+	parent.Children = append(parent.Children, sp)
+	rt.stack = append(rt.stack, sp)
+	return sp
+}
+
+// End closes sp at virtual time `at`, popping the open-span stack
+// through it (nil-safe).
+func (rt *RankTimeline) End(sp *VSpan, at time.Duration) {
+	if rt == nil || sp == nil {
+		return
+	}
+	sp.End = at
+	for n := len(rt.stack); n > 0; n-- {
+		top := rt.stack[n-1]
+		rt.stack = rt.stack[:n-1]
+		if top == sp {
+			break
+		}
+	}
+}
+
+// Record appends a ledger entry.
+func (rt *RankTimeline) Record(m MsgRecord) {
+	if rt == nil {
+		return
+	}
+	rt.Msgs = append(rt.Msgs, m)
+}
+
+// Close ends the root span (and anything left open) at virtual time at.
+func (rt *RankTimeline) Close(at time.Duration) {
+	if rt == nil {
+		return
+	}
+	for _, sp := range rt.stack {
+		sp.End = at
+	}
+	rt.stack = rt.stack[:0]
+	rt.Root.End = at
+}
+
+// Timeline is the merged view of a distributed run: every rank's span
+// tree plus the global communication ledger.
+type Timeline struct {
+	Ranks []*RankTimeline `json:"ranks"`
+}
+
+// MergeTimeline combines per-rank timelines into one global timeline.
+// Nil entries (ranks that did not record) are dropped.
+func MergeTimeline(rts []*RankTimeline) *Timeline {
+	t := &Timeline{}
+	for _, rt := range rts {
+		if rt != nil {
+			t.Ranks = append(t.Ranks, rt)
+		}
+	}
+	sort.Slice(t.Ranks, func(i, j int) bool { return t.Ranks[i].Rank < t.Ranks[j].Rank })
+	return t
+}
+
+// MaxEnd returns the latest root-span end over all ranks — the merged
+// timeline's virtual wall clock (mpi.MaxElapsed up to the final
+// bookkeeping tick).
+func (t *Timeline) MaxEnd() time.Duration {
+	var m time.Duration
+	for _, rt := range t.Ranks {
+		if rt.Root != nil && rt.Root.End > m {
+			m = rt.Root.End
+		}
+	}
+	return m
+}
+
+// TotalBytes sums the payload bytes of all point-to-point sends.
+func (t *Timeline) TotalBytes() int64 {
+	var b int64
+	for _, rt := range t.Ranks {
+		for _, m := range rt.Msgs {
+			if m.Kind == MsgSend {
+				b += int64(m.Bytes)
+			}
+		}
+	}
+	return b
+}
+
+// TotalMessages counts all point-to-point sends.
+func (t *Timeline) TotalMessages() int {
+	n := 0
+	for _, rt := range t.Ranks {
+		for _, m := range rt.Msgs {
+			if m.Kind == MsgSend {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PathSegment is one link of the critical path: an interval on one
+// rank's virtual clock, either local compute (named by the innermost
+// enclosing span) or a blocking communication edge.
+type PathSegment struct {
+	Rank int    `json:"rank"`
+	Kind string `json:"kind"` // "compute", "recv" or "collective"
+	Name string `json:"name"`
+	// Start/End are on Rank's clock for compute segments; for
+	// communication edges Start is the dependency time on the upstream
+	// rank and End the unblock time on Rank.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	Bytes int           `json:"bytes,omitempty"`
+}
+
+// Dur returns the segment's length.
+func (s PathSegment) Dur() time.Duration { return s.End - s.Start }
+
+// PathDuration sums the lengths of a critical path's segments. For a
+// complete timeline it equals MaxEnd: the path's segments tile the
+// interval [0, MaxEnd] without gaps or overlaps.
+func PathDuration(path []PathSegment) time.Duration {
+	var d time.Duration
+	for _, s := range path {
+		d += s.Dur()
+	}
+	return d
+}
+
+// CriticalPath extracts the chain of compute spans and message edges
+// that determines the run's virtual wall clock. It walks backwards from
+// the slowest rank's finish: local time back to the last blocking
+// operation, then across the dependency edge to the upstream rank, and
+// so on to time zero. Segments are returned oldest first and are
+// contiguous: each segment's End is the next segment's Start.
+func (t *Timeline) CriticalPath() []PathSegment {
+	if len(t.Ranks) == 0 {
+		return nil
+	}
+	byRank := make(map[int]*RankTimeline, len(t.Ranks))
+	// syncs[rank] are the blocking operations with a cross-rank (or
+	// collective self-) dependency, ordered by End time.
+	syncs := make(map[int][]MsgRecord, len(t.Ranks))
+	cur := t.Ranks[0]
+	for _, rt := range t.Ranks {
+		byRank[rt.Rank] = rt
+		if rt.Root.End > cur.Root.End {
+			cur = rt
+		}
+		for _, m := range rt.Msgs {
+			if m.DepRank >= 0 && m.End > m.DepTime {
+				syncs[rt.Rank] = append(syncs[rt.Rank], m)
+			}
+		}
+		sort.SliceStable(syncs[rt.Rank], func(i, j int) bool {
+			return syncs[rt.Rank][i].End < syncs[rt.Rank][j].End
+		})
+	}
+
+	var rev []PathSegment
+	rank, now := cur.Rank, cur.Root.End
+	// now strictly decreases every iteration (DepTime < End <= now), so
+	// the walk terminates; the bound is a defense against a malformed
+	// ledger.
+	for iter := 0; now > 0 && iter < 1<<20; iter++ {
+		var dep *MsgRecord
+		for i := len(syncs[rank]) - 1; i >= 0; i-- {
+			if s := syncs[rank][i]; s.End <= now {
+				dep = &s
+				break
+			}
+		}
+		if dep == nil {
+			rev = append(rev, computeSegments(byRank[rank], 0, now)...)
+			break
+		}
+		if dep.End < now {
+			rev = append(rev, computeSegments(byRank[rank], dep.End, now)...)
+		}
+		kind := "recv"
+		name := fmt.Sprintf("msg %d->%d", dep.Peer, dep.Rank)
+		if dep.Kind == MsgCollective {
+			kind = "collective"
+			name = fmt.Sprintf("collective #%d", dep.Tag)
+		}
+		rev = append(rev, PathSegment{
+			Rank: dep.Rank, Kind: kind, Name: name,
+			Start: dep.DepTime, End: dep.End, Bytes: dep.Bytes,
+		})
+		rank, now = dep.DepRank, dep.DepTime
+	}
+	// Reverse into oldest-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// computeSegments covers (from, to] on one rank with compute path
+// segments, newest first, split and named at the rank's span
+// boundaries (innermost span wins; gaps are named "compute").
+func computeSegments(rt *RankTimeline, from, to time.Duration) []PathSegment {
+	if rt == nil || to <= from {
+		return nil
+	}
+	type depthSpan struct {
+		s     *VSpan
+		depth int
+	}
+	var flat []depthSpan
+	var walk func(s *VSpan, d int)
+	walk = func(s *VSpan, d int) {
+		if s == nil {
+			return
+		}
+		if s.End > s.Start {
+			flat = append(flat, depthSpan{s, d})
+		}
+		for _, c := range s.Children {
+			walk(c, d+1)
+		}
+	}
+	walk(rt.Root, 0)
+
+	// Cut points: the interval bounds plus every span boundary inside.
+	cuts := []time.Duration{from, to}
+	for _, f := range flat {
+		if f.s.Start > from && f.s.Start < to {
+			cuts = append(cuts, f.s.Start)
+		}
+		if f.s.End > from && f.s.End < to {
+			cuts = append(cuts, f.s.End)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	nameAt := func(at time.Duration) string {
+		name, depth := "compute", -1
+		for _, f := range flat {
+			if f.s.Start <= at && at < f.s.End && f.depth > depth {
+				name, depth = f.s.Name, f.depth
+			}
+		}
+		return name
+	}
+
+	var out []PathSegment // newest first, matching the backward walk
+	for i := len(cuts) - 1; i > 0; i-- {
+		a, b := cuts[i-1], cuts[i]
+		if b <= a {
+			continue
+		}
+		name := nameAt(a + (b-a)/2)
+		if n := len(out); n > 0 && out[n-1].Name == name && out[n-1].Start == b {
+			out[n-1].Start = a // merge adjacent same-name segments
+			continue
+		}
+		out = append(out, PathSegment{Rank: rt.Rank, Kind: "compute", Name: name, Start: a, End: b})
+	}
+	return out
+}
+
+// RankLoad is one row of the load-imbalance report.
+type RankLoad struct {
+	Rank int `json:"rank"`
+	// Elapsed is the rank's final virtual time; Wait the part spent
+	// blocked in receives and collectives; Busy the rest.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Wait    time.Duration `json:"wait_ns"`
+	Busy    time.Duration `json:"busy_ns"`
+	// BytesSent/BytesRecv and MsgsSent/MsgsRecv count point-to-point
+	// traffic; Collectives counts collective participations.
+	BytesSent   int64 `json:"bytes_sent"`
+	BytesRecv   int64 `json:"bytes_recv"`
+	MsgsSent    int   `json:"msgs_sent"`
+	MsgsRecv    int   `json:"msgs_recv"`
+	Collectives int   `json:"collectives"`
+}
+
+// Loads summarizes every rank for the load-imbalance report, ordered
+// by rank.
+func (t *Timeline) Loads() []RankLoad {
+	out := make([]RankLoad, 0, len(t.Ranks))
+	for _, rt := range t.Ranks {
+		l := RankLoad{Rank: rt.Rank, Elapsed: rt.Root.End}
+		for _, m := range rt.Msgs {
+			switch m.Kind {
+			case MsgSend:
+				l.BytesSent += int64(m.Bytes)
+				l.MsgsSent++
+			case MsgRecv:
+				l.BytesRecv += int64(m.Bytes)
+				l.MsgsRecv++
+				l.Wait += m.Wait
+			case MsgCollective:
+				l.Collectives++
+				l.Wait += m.Wait
+			}
+		}
+		l.Busy = l.Elapsed - l.Wait
+		if l.Busy < 0 {
+			l.Busy = 0
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// ImbalanceRatio is the paper's load-imbalance indicator over busy
+// (non-blocked) time: max busy / min busy, 1 for degenerate input.
+func (t *Timeline) ImbalanceRatio() float64 {
+	loads := t.Loads()
+	if len(loads) == 0 {
+		return 1
+	}
+	min, max := loads[0].Busy, loads[0].Busy
+	for _, l := range loads[1:] {
+		if l.Busy < min {
+			min = l.Busy
+		}
+		if l.Busy > max {
+			max = l.Busy
+		}
+	}
+	if min <= 0 {
+		return 1
+	}
+	return float64(max) / float64(min)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (the "JSON Array Format" both chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level trace shape.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the merged timeline as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing: one thread per rank
+// (pid 0) carrying the span tree, recv-wait slices, flow arrows for
+// the messages that blocked a receiver, and the extracted critical
+// path as its own process (pid 1).
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "ranks"},
+	})
+	flowID := 0
+	for _, rt := range t.Ranks {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rt.Rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rt.Rank)},
+		})
+		var walk func(s *VSpan)
+		walk = func(s *VSpan) {
+			if s == nil {
+				return
+			}
+			if s.End > s.Start {
+				args := make(map[string]any, len(s.Attrs))
+				for k, v := range s.Attrs {
+					args[k] = v
+				}
+				evs = append(evs, chromeEvent{
+					Name: s.Name, Ph: "X", Ts: usec(s.Start), Dur: usec(s.End - s.Start),
+					Pid: 0, Tid: s.Rank, Args: args,
+				})
+			}
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(rt.Root)
+		for _, m := range rt.Msgs {
+			if m.Kind == MsgRecv && m.Wait > 0 {
+				evs = append(evs, chromeEvent{
+					Name: fmt.Sprintf("wait recv %d", m.Peer), Ph: "X", Cat: "wait",
+					Ts: usec(m.Start), Dur: usec(m.Wait), Pid: 0, Tid: m.Rank,
+					Args: map[string]any{"bytes": m.Bytes, "tag": m.Tag},
+				})
+				flowID++
+				id := fmt.Sprintf("m%d", flowID)
+				evs = append(evs,
+					chromeEvent{Name: "msg", Ph: "s", Cat: "msg", Ts: usec(m.Sent), Pid: 0, Tid: m.Peer, ID: id},
+					chromeEvent{Name: "msg", Ph: "f", BP: "e", Cat: "msg", Ts: usec(m.End), Pid: 0, Tid: m.Rank, ID: id},
+				)
+			}
+		}
+	}
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "critical path"},
+	})
+	for _, seg := range t.CriticalPath() {
+		evs = append(evs, chromeEvent{
+			Name: seg.Name, Ph: "X", Cat: seg.Kind, Ts: usec(seg.Start), Dur: usec(seg.End - seg.Start),
+			Pid: 1, Tid: 0,
+			Args: map[string]any{"rank": seg.Rank, "kind": seg.Kind},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTraceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func msd(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// twoRankTimeline builds a hand-crafted scenario with a known critical
+// path: rank 0 computes 30ms and sends; rank 1 computes 10ms, blocks
+// 25ms on the receive, then computes until 80ms.
+func twoRankTimeline() *Timeline {
+	r0 := NewRankTimeline(0)
+	r0.Record(MsgRecord{
+		Kind: MsgSend, Rank: 0, Peer: 1, Tag: 7, Bytes: 800,
+		Start: msd(29), End: msd(30), Sent: msd(30), DepRank: -1,
+	})
+	r0.Close(msd(60))
+
+	r1 := NewRankTimeline(1)
+	r1.Record(MsgRecord{
+		Kind: MsgRecv, Rank: 1, Peer: 0, Tag: 7, Bytes: 800,
+		Start: msd(10), End: msd(36), Sent: msd(30),
+		Wait: msd(25), DepRank: 0, DepTime: msd(30),
+	})
+	sp := r1.Begin("work", msd(40))
+	r1.End(sp, msd(70))
+	r1.Close(msd(80))
+
+	return MergeTimeline([]*RankTimeline{r0, r1, nil})
+}
+
+func TestCriticalPathRecvHop(t *testing.T) {
+	tl := twoRankTimeline()
+	if got := tl.MaxEnd(); got != msd(80) {
+		t.Fatalf("MaxEnd = %v, want 80ms", got)
+	}
+	path := tl.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("CriticalPath returned no segments")
+	}
+	// The segments tile [0, MaxEnd]: oldest-first, contiguous, and
+	// summing exactly to the simulated wall clock.
+	if path[0].Start != 0 {
+		t.Errorf("path starts at %v, want 0", path[0].Start)
+	}
+	if last := path[len(path)-1]; last.End != msd(80) {
+		t.Errorf("path ends at %v, want 80ms", last.End)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Start != path[i-1].End {
+			t.Errorf("segment %d starts at %v, previous ended at %v", i, path[i].Start, path[i-1].End)
+		}
+	}
+	if got := PathDuration(path); got != msd(80) {
+		t.Errorf("PathDuration = %v, want 80ms (= MaxEnd)", got)
+	}
+	// Expected chain: rank 0 compute [0,30], recv edge [30,36] on rank 1,
+	// rank 1 compute to 80 with the "work" span named.
+	if path[0].Rank != 0 || path[0].Kind != "compute" || path[0].End != msd(30) {
+		t.Errorf("first segment = %+v, want rank 0 compute [0,30ms]", path[0])
+	}
+	var sawEdge, sawWork bool
+	for _, seg := range path {
+		if seg.Kind == "recv" {
+			sawEdge = true
+			if seg.Start != msd(30) || seg.End != msd(36) || seg.Rank != 1 || seg.Bytes != 800 {
+				t.Errorf("recv edge = %+v, want rank 1 [30ms,36ms] 800B", seg)
+			}
+		}
+		if seg.Kind == "compute" && seg.Name == "work" {
+			sawWork = true
+			if seg.Start != msd(40) || seg.End != msd(70) {
+				t.Errorf("work segment = %+v, want [40ms,70ms]", seg)
+			}
+		}
+	}
+	if !sawEdge || !sawWork {
+		t.Errorf("path missing recv edge (%v) or named work segment (%v): %+v", sawEdge, sawWork, path)
+	}
+}
+
+func TestCriticalPathCollectiveHop(t *testing.T) {
+	// Rank 1 is the straggler into a collective exiting at 70ms; rank 0
+	// then computes alone until 90ms. The path must hop to rank 1.
+	r0 := NewRankTimeline(0)
+	r0.Record(MsgRecord{
+		Kind: MsgCollective, Rank: 0, Peer: -1, Tag: 0, Bytes: 64,
+		Start: msd(50), End: msd(70), Wait: msd(20), DepRank: 1, DepTime: msd(60),
+	})
+	r0.Close(msd(90))
+	r1 := NewRankTimeline(1)
+	r1.Record(MsgRecord{
+		Kind: MsgCollective, Rank: 1, Peer: -1, Tag: 0, Bytes: 64,
+		Start: msd(60), End: msd(70), Wait: msd(10), DepRank: 1, DepTime: msd(60),
+	})
+	r1.Close(msd(70))
+	tl := MergeTimeline([]*RankTimeline{r0, r1})
+
+	path := tl.CriticalPath()
+	if got := PathDuration(path); got != msd(90) {
+		t.Fatalf("PathDuration = %v, want 90ms; path %+v", got, path)
+	}
+	var coll *PathSegment
+	for i := range path {
+		if path[i].Kind == "collective" {
+			coll = &path[i]
+		}
+	}
+	if coll == nil {
+		t.Fatalf("no collective edge in path %+v", path)
+	}
+	if coll.Start != msd(60) || coll.End != msd(70) {
+		t.Errorf("collective edge [%v,%v], want [60ms,70ms]", coll.Start, coll.End)
+	}
+	if path[0].Rank != 1 {
+		t.Errorf("path origin rank = %d, want 1 (the straggler)", path[0].Rank)
+	}
+}
+
+func TestTimelineLoadsAndTotals(t *testing.T) {
+	tl := twoRankTimeline()
+	if got := tl.TotalBytes(); got != 800 {
+		t.Errorf("TotalBytes = %d, want 800", got)
+	}
+	if got := tl.TotalMessages(); got != 1 {
+		t.Errorf("TotalMessages = %d, want 1", got)
+	}
+	loads := tl.Loads()
+	if len(loads) != 2 {
+		t.Fatalf("Loads returned %d rows, want 2", len(loads))
+	}
+	if loads[0].Rank != 0 || loads[1].Rank != 1 {
+		t.Fatalf("loads out of rank order: %+v", loads)
+	}
+	if loads[0].Wait != 0 || loads[0].BytesSent != 800 || loads[0].MsgsSent != 1 {
+		t.Errorf("rank 0 load = %+v, want no wait, 800B/1msg sent", loads[0])
+	}
+	if loads[1].Wait != msd(25) || loads[1].Busy != msd(55) || loads[1].BytesRecv != 800 {
+		t.Errorf("rank 1 load = %+v, want 25ms wait, 55ms busy, 800B recv", loads[1])
+	}
+	if r := tl.ImbalanceRatio(); r <= 1 || r > 1.2 {
+		t.Errorf("ImbalanceRatio = %v, want 60/55", r)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tl := twoRankTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if trace.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", trace.DisplayUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	phases := map[string]bool{}
+	for i, ev := range trace.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			t.Fatalf("event %d has no ph: %v", i, ev)
+		}
+		phases[ph] = true
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+	}
+	// Metadata, complete slices and the message flow pair must all be
+	// present for Perfetto to render ranks, spans and arrows.
+	for _, ph := range []string{"M", "X", "s", "f"} {
+		if !phases[ph] {
+			t.Errorf("no %q events in trace", ph)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is the W3C Trace Context identity of a request: a 128-bit
+// trace id shared by every span of a distributed operation and the
+// 64-bit id of the span that caused this one (the parent on the wire).
+// Both are lowercase hex, per the spec; the zero id is invalid.
+//
+// The client stamps outgoing requests with a `traceparent` header built
+// from a TraceContext, and the server adopts the header's trace id as
+// the root evaluate-span's trace, so one id follows the request across
+// the process hop.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, not all zero.
+	TraceID string
+	// SpanID is 16 lowercase hex characters, not all zero — the id of
+	// the caller's span (the parent of whatever span the receiver opens).
+	SpanID string
+	// Flags is the trace-flags octet; bit 0 is "sampled".
+	Flags byte
+}
+
+// traceparentVersion is the only version this implementation emits.
+const traceparentVersion = "00"
+
+// NewTraceContext returns a fresh sampled trace context with random ids.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: NewSpanID(), Flags: 1}
+}
+
+// NewSpanID returns a fresh random 64-bit span id in lowercase hex.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(nbytes int) string {
+	b := make([]byte, nbytes)
+	for {
+		if _, err := rand.Read(b); err != nil {
+			panic(fmt.Sprintf("obs: reading randomness: %v", err))
+		}
+		for _, v := range b {
+			if v != 0 {
+				return hex.EncodeToString(b)
+			}
+		}
+		// All-zero ids are invalid per the spec; draw again.
+	}
+}
+
+// Traceparent renders the context as a W3C traceparent header value:
+// version-traceid-spanid-flags.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("%s-%s-%s-%02x", traceparentVersion, tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// non-ff version whose first four fields have the version-00 layout
+// (per the spec's forward-compatibility rule) and rejects malformed
+// input: wrong field lengths, non-hex or uppercase digits, all-zero
+// trace or span ids, and the invalid version ff.
+func ParseTraceparent(h string) (TraceContext, error) {
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want version-traceid-spanid-flags", h)
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isLowerHex(version, 2) || version == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: invalid version %q", h, version)
+	}
+	if version == traceparentVersion && len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: version 00 has exactly 4 fields", h)
+	}
+	if !isLowerHex(traceID, 32) || allZero(traceID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: invalid trace id %q", h, traceID)
+	}
+	if !isLowerHex(spanID, 16) || allZero(spanID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: invalid parent span id %q", h, spanID)
+	}
+	if !isLowerHex(flags, 2) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: invalid flags %q", h, flags)
+	}
+	raw, _ := hex.DecodeString(flags)
+	return TraceContext{TraceID: traceID, SpanID: spanID, Flags: raw[0]}, nil
+}
+
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// traceCtxKey keys a TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tc, retrievable with
+// TraceFromContext. The HTTP layer stashes the request's trace context
+// here so the evaluation path can stamp span attributes without the
+// two layers knowing about each other.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

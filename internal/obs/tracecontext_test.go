@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("NewTraceContext() = %+v, want 32-hex trace id and 16-hex span id", tc)
+	}
+	if tc.Flags != 1 {
+		t.Errorf("Flags = %d, want 1 (sampled)", tc.Flags)
+	}
+	h := tc.Traceparent()
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Errorf("round trip: got %+v, want %+v", got, tc)
+	}
+}
+
+func TestTraceparentFormat(t *testing.T) {
+	tc := TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Flags:   1,
+	}
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if got := tc.Traceparent(); got != want {
+		t.Errorf("Traceparent() = %q, want %q", got, want)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	for _, h := range []string{
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00",
+		// Future version with extra fields is accepted per the spec's
+		// forward-compatibility rule.
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	} {
+		if _, err := ParseTraceparent(h); err != nil {
+			t.Errorf("ParseTraceparent(%q) = %v, want nil", h, err)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // v00 with extra field
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad version hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // all-zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // all-zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",    // short trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",    // short span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",   // bad flags
+		"00--4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // empty version slot shift
+	} {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) = nil error, want malformed-header error", h)
+		}
+	}
+}
+
+func TestNewSpanIDUniqueHex(t *testing.T) {
+	a, b := NewSpanID(), NewSpanID()
+	if a == b {
+		t.Errorf("NewSpanID() returned %q twice", a)
+	}
+	for _, id := range []string{a, b} {
+		if len(id) != 16 || strings.ToLower(id) != id {
+			t.Errorf("NewSpanID() = %q, want 16 lowercase hex chars", id)
+		}
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("TraceFromContext(background) = ok, want absent")
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceFromContext = %+v, %v; want %+v, true", got, ok, tc)
+	}
+}

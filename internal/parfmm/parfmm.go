@@ -19,6 +19,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/morton"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Options configure a parallel evaluation.
@@ -46,6 +47,12 @@ type Options struct {
 	// information from previous time steps for load balancing" — pass a
 	// previous Result.PatchWork here.
 	PatchWeights []int64
+	// Trace records per-rank span timelines and the communication
+	// ledger (every send/recv/collective with virtual timestamps and
+	// wait times) and merges them into Result.Timeline. The ledger
+	// observer and span bookkeeping run on the rank goroutines, so the
+	// virtual clocks absorb a small tracing overhead.
+	Trace bool
 }
 
 // RankStats records one rank's virtual-time breakdown, matching the
@@ -77,6 +84,13 @@ type Result struct {
 	// evaluation (the paper's proposed time-step-to-time-step load
 	// balancing).
 	PatchWork []int64
+	// MaxElapsed is the simulated wall clock of the whole run — tree
+	// construction, warm-up and timed iterations — i.e. mpi.MaxElapsed
+	// over the rank communicators.
+	MaxElapsed time.Duration
+	// Timeline is the merged distributed timeline (per-rank span trees
+	// plus the communication ledger); nil unless Options.Trace.
+	Timeline *obs.Timeline
 }
 
 // MaxTotal returns the slowest rank's interaction time — the simulated
@@ -199,12 +213,23 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 	treeBoxes := make([]int, nproc)
 	treeDepth := make([]int, nproc)
 
-	mpi.Run(nproc, opt.Machine, func(c *mpi.Comm) {
+	timelines := make([]*obs.RankTimeline, nproc)
+	comms := mpi.Run(nproc, opt.Machine, func(c *mpi.Comm) {
 		rk := newRank(c, inputs[c.Rank()], opt)
+		if opt.Trace {
+			tl := obs.NewRankTimeline(c.Rank())
+			timelines[c.Rank()] = tl
+			rk.tl = tl
+			c.SetObserver(func(ev mpi.Event) { tl.Record(msgRecord(ev)) })
+		}
+		sp := rk.beginSpan("tree_build")
 		rk.buildGlobalTree()
+		rk.endSpan(sp)
 		treeBoxes[c.Rank()] = len(rk.tree.Boxes)
 		treeDepth[c.Rank()] = rk.tree.Depth()
+		sp = rk.beginSpan("assign_owners")
 		rk.assignOwners()
+		rk.endSpan(sp)
 		stats[c.Rank()].TreeTime = c.Elapsed()
 
 		// Untimed warm-up evaluation: the translation operators and FFT
@@ -212,7 +237,9 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 		// (like any FMM production setting, where the same tree serves
 		// tens of interaction evaluations) exclude that setup cost. The
 		// measured iterations below see only steady-state work.
+		sp = rk.beginSpan("warmup")
 		rk.evaluate()
+		rk.endSpan(sp)
 
 		var agg fmm.Stats
 		var totalT, commT time.Duration
@@ -221,7 +248,10 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 			t0 := c.Elapsed()
 			c0 := c.CommTime()
 			b0 := c.BytesSent()
+			sp = rk.beginSpan("iteration")
+			sp.SetAttr("iter", fmt.Sprint(it))
 			rk.evaluate()
+			rk.endSpan(sp)
 			totalT += c.Elapsed() - t0
 			commT += c.CommTime() - c0
 			bytes += c.BytesSent() - b0
@@ -240,6 +270,7 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 			copy(pot[int(g)*td:(int(g)+1)*td], rk.pot[i*td:(i+1)*td])
 			pointWork[g] = work[i]
 		}
+		rk.tl.Close(c.Elapsed())
 	})
 
 	// Aggregate point work into per-patch totals.
@@ -250,7 +281,14 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 		}
 	}
 
-	return &Result{Pot: pot, Ranks: stats, Boxes: treeBoxes[0], Depth: treeDepth[0], PatchWork: patchWork}, nil
+	res := &Result{
+		Pot: pot, Ranks: stats, Boxes: treeBoxes[0], Depth: treeDepth[0],
+		PatchWork: patchWork, MaxElapsed: mpi.MaxElapsed(comms),
+	}
+	if opt.Trace {
+		res.Timeline = obs.MergeTimeline(timelines)
+	}
+	return res, nil
 }
 
 type rankInput struct {

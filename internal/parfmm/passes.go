@@ -27,17 +27,35 @@ func (rk *rank) evaluate() {
 	rk.ghostPhi = make(map[int32][]float64)
 
 	// Overlap: post the ghost source sends before the upward compute.
+	mk := rk.markIO()
+	sp := rk.beginSpan("source_gather")
 	rk.postSourceGather()
+	rk.endSpanIO(sp, mk)
+	sp = rk.beginSpan("upward")
 	rk.upwardPass()
+	rk.endSpan(sp)
+	mk = rk.markIO()
+	sp = rk.beginSpan("source_exchange")
 	rk.exchangeSources()
+	rk.endSpanIO(sp, mk)
 
 	// Overlap: post the density sends, run the dense (U) and X-list
 	// computations, then complete the density exchange and finish the
 	// downward pass.
+	mk = rk.markIO()
+	sp = rk.beginSpan("density_gather")
 	rk.postDensityGather()
+	rk.endSpanIO(sp, mk)
+	sp = rk.beginSpan("down_ux")
 	checks, potSorted := rk.downUX()
+	rk.endSpan(sp)
+	mk = rk.markIO()
+	sp = rk.beginSpan("density_exchange")
 	rk.exchangeDensities()
+	rk.endSpanIO(sp, mk)
+	sp = rk.beginSpan("down_vw_local")
 	rk.downVWAndLocal(checks, potSorted)
+	rk.endSpan(sp)
 
 	// Un-permute potentials to the rank's original local order.
 	td := rk.opt.Kernel.TargetDim()

@@ -2,11 +2,13 @@ package parfmm
 
 import (
 	"math"
+	"strconv"
 
 	"repro/internal/fmm"
 	"repro/internal/kernels"
 	"repro/internal/morton"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/translate"
 	"repro/internal/tree"
 )
@@ -16,6 +18,10 @@ type rank struct {
 	c   *mpi.Comm
 	in  *rankInput
 	opt Options
+
+	// tl records this rank's span timeline and communication ledger
+	// when Options.Trace is set (nil otherwise; all helpers nil-safe).
+	tl *obs.RankTimeline
 
 	ops *translate.Set
 	fft *translate.FFTM2L
@@ -43,6 +49,63 @@ type rank struct {
 
 func newRank(c *mpi.Comm, in *rankInput, opt Options) *rank {
 	return &rank{c: c, in: in, opt: opt}
+}
+
+// beginSpan opens a virtual-time span on the rank's timeline (nil when
+// tracing is off). Elapsed() folds pending wall time into the virtual
+// clock, so span edges line up with the communication ledger.
+func (rk *rank) beginSpan(name string) *obs.VSpan {
+	if rk.tl == nil {
+		return nil
+	}
+	return rk.tl.Begin(name, rk.c.Elapsed())
+}
+
+// endSpan closes sp at the current virtual time.
+func (rk *rank) endSpan(sp *obs.VSpan) {
+	if rk.tl == nil || sp == nil {
+		return
+	}
+	rk.tl.End(sp, rk.c.Elapsed())
+}
+
+// ioMark snapshots the communication counters so endSpanIO can attach
+// the span's byte/message deltas as attributes.
+type ioMark struct {
+	bytes int64
+	msgs  int64
+}
+
+func (rk *rank) markIO() ioMark {
+	return ioMark{bytes: rk.c.BytesSent() + rk.c.BytesRecv(), msgs: rk.c.Messages()}
+}
+
+// endSpanIO closes a communication span, attaching the bytes moved
+// (sent + received) and messages sent since mark.
+func (rk *rank) endSpanIO(sp *obs.VSpan, mark ioMark) {
+	if rk.tl == nil || sp == nil {
+		return
+	}
+	sp.SetAttr("bytes", strconv.FormatInt(rk.c.BytesSent()+rk.c.BytesRecv()-mark.bytes, 10))
+	sp.SetAttr("msgs", strconv.FormatInt(rk.c.Messages()-mark.msgs, 10))
+	rk.tl.End(sp, rk.c.Elapsed())
+}
+
+// msgRecord converts an mpi ledger event into the obs representation
+// (parfmm owns the conversion so mpi stays observability-agnostic).
+func msgRecord(ev mpi.Event) obs.MsgRecord {
+	kind := obs.MsgSend
+	switch ev.Kind {
+	case mpi.EventRecv:
+		kind = obs.MsgRecv
+	case mpi.EventCollective:
+		kind = obs.MsgCollective
+	}
+	return obs.MsgRecord{
+		Kind: kind, Rank: ev.Rank, Peer: ev.Peer, Tag: ev.Tag, Bytes: ev.Bytes,
+		Start: ev.Start, End: ev.End, Sent: ev.Sent, Wait: ev.Wait,
+		DepRank: ev.DepRank, DepTime: ev.DepTime,
+	}
 }
 
 // contributes reports whether this rank has points in box bi.

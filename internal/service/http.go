@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/errs"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies (geometry and densities are flat
@@ -168,6 +169,23 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			reqID = "r" + strconv.FormatInt(s.start.UnixNano()%1e9, 36) + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
 		}
 		w.Header().Set("X-Request-Id", reqID)
+		// W3C trace context: adopt the caller's trace id as this request's,
+		// recording the caller's span id as the parent; a missing or
+		// malformed traceparent starts a fresh trace (never an error). The
+		// response echoes the trace with the server's span id, so callers
+		// can stitch their spans to ours.
+		parentSpan := ""
+		tc, tcErr := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if tcErr == nil {
+			parentSpan = tc.SpanID
+			tc.SpanID = obs.NewSpanID()
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		w.Header().Set("Traceparent", tc.Traceparent())
+		ctx := obs.ContextWithTrace(r.Context(), tc)
+		ctx = contextWithRequestMeta(ctx, requestMeta{id: reqID, parentSpan: parentSpan})
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		if sw.status == 0 {
@@ -177,12 +195,17 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		m := s.svc.m
 		m.httpRequests.With(pattern, strconv.Itoa(sw.status)).Inc()
 		m.httpRequestSeconds.With(pattern).Observe(dur.Seconds())
+		slow := s.slowThreshold > 0 && dur >= s.slowThreshold
+		if slow {
+			m.evalSlow.Inc()
+		}
 		if s.log != nil {
 			attrs := []any{
 				"method", r.Method, "route", pattern, "status", sw.status,
 				"duration_ms", float64(dur.Microseconds()) / 1e3, "request_id", reqID,
+				"trace_id", tc.TraceID,
 			}
-			if s.slowThreshold > 0 && dur >= s.slowThreshold {
+			if slow {
 				s.log.Warn("slow request", append(attrs, "slow", true)...)
 			} else {
 				s.log.Info("request", attrs...)
@@ -363,7 +386,8 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRecentEvals serves the span trees of recent evaluations, newest
-// first; ?n= bounds how many (default: all retained in the ring).
+// first; ?n= bounds how many (default: all retained in the ring) and
+// ?trace_id= keeps only evaluations belonging to that W3C trace.
 func (s *Server) handleRecentEvals(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	if q := r.URL.Query().Get("n"); q != "" {
@@ -374,7 +398,19 @@ func (s *Server) handleRecentEvals(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	traces := s.svc.RecentSpans(n)
+	var traces []*TraceSpan
+	if traceID := r.URL.Query().Get("trace_id"); traceID != "" {
+		for _, sp := range s.svc.RecentSpans(0) {
+			if sp.Attrs["trace_id"] == traceID {
+				traces = append(traces, sp)
+			}
+			if n > 0 && len(traces) == n {
+				break
+			}
+		}
+	} else {
+		traces = s.svc.RecentSpans(n)
+	}
 	if traces == nil {
 		traces = []*TraceSpan{}
 	}

@@ -31,6 +31,7 @@ type metrics struct {
 	// expvar meaning); evalBatches counts engine sweeps.
 	evaluations, evalBatches *obs.Counter
 	evalErrors, evalCanceled *obs.Counter
+	evalSlow                 *obs.Counter
 	evalBatchSize            *obs.Histogram
 	evalSeconds              *obs.Histogram
 	evalNsPerPoint           *obs.Gauge
@@ -81,6 +82,8 @@ func newMetrics(s *Service) *metrics {
 		"Evaluations failed for reasons other than cancellation.")
 	m.evalCanceled = r.Counter("kifmm_eval_canceled_total",
 		"Evaluations aborted by caller cancellation or deadline.")
+	m.evalSlow = r.Counter("kifmm_eval_slow_total",
+		"Requests at or above the slow-eval threshold (-slow-eval).")
 	m.evalBatchSize = r.Histogram("kifmm_eval_batch_size",
 		"Right-hand sides per evaluation sweep.",
 		obs.ExpBuckets(1, 2, 9))

@@ -555,8 +555,24 @@ func (s *Service) runEval(ctx context.Context, p *plan, dens [][]float64) ([][]f
 	}
 	s.m.recordEval(st, len(dens), p.trgCount, time.Since(start))
 	// The tree is still private to this goroutine: attach identifying
-	// attributes before publishing it to the ring makes it shared.
+	// attributes before publishing it to the ring makes it shared. The
+	// trace attributes link the span tree to the W3C trace context the
+	// request arrived under (or was assigned): the evaluate span's id,
+	// its parent (the caller's span, when a traceparent was sent), and
+	// the request id — the request-log ↔ /v1/evals/recent join keys.
 	span.SetAttr("plan_id", p.id)
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		span.SetAttr("trace_id", tc.TraceID)
+		span.SetAttr("span_id", tc.SpanID)
+	}
+	if meta, ok := requestMetaFrom(ctx); ok {
+		if meta.id != "" {
+			span.SetAttr("request_id", meta.id)
+		}
+		if meta.parentSpan != "" {
+			span.SetAttr("parent_span_id", meta.parentSpan)
+		}
+	}
 	s.spans.Add(span)
 	return pots, statsWire(st), span, nil
 }

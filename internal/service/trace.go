@@ -1,0 +1,26 @@
+package service
+
+import "context"
+
+// requestMeta carries per-request identity from the HTTP middleware to
+// the evaluation path: the request id and — when the caller sent a W3C
+// traceparent — the caller's span id, which becomes the parent of the
+// evaluate span. The trace context itself travels separately via
+// obs.ContextWithTrace.
+type requestMeta struct {
+	id         string
+	parentSpan string
+}
+
+type requestMetaKey struct{}
+
+// contextWithRequestMeta stashes the request identity in ctx.
+func contextWithRequestMeta(ctx context.Context, m requestMeta) context.Context {
+	return context.WithValue(ctx, requestMetaKey{}, m)
+}
+
+// requestMetaFrom recovers the request identity, if any.
+func requestMetaFrom(ctx context.Context) (requestMeta, bool) {
+	m, ok := ctx.Value(requestMetaKey{}).(requestMeta)
+	return m, ok
+}
