@@ -97,6 +97,8 @@ func newAPIError(status int, code kifmm.ErrorCode, message string) *APIError {
 			code = errs.CodeDeadlineExceeded
 		case http.StatusInternalServerError:
 			code = errs.CodeInternal
+		case http.StatusServiceUnavailable:
+			code = errs.CodeWorkerLost
 		}
 	}
 	return &APIError{
@@ -123,8 +125,9 @@ func (e *APIError) Unwrap() error {
 // Client talks to one kifmm-serve instance. It is safe for concurrent
 // use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // Option customizes a Client.
@@ -304,6 +307,13 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
+	if c.retry != nil {
+		return c.getRetry(ctx, path, out)
+	}
+	return c.getOnce(ctx, path, out)
+}
+
+func (c *Client) getOnce(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/errs"
+)
+
+// RetryPolicy configures automatic retries for idempotent GET requests
+// (Health, Metrics, RecentEvals...). POSTs are never retried — an
+// evaluation that timed out may still be burning server CPU, and
+// replaying it doubles the damage; GETs are safe to repeat by
+// construction.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2s).
+	MaxDelay time.Duration
+	// PerAttemptTimeout bounds each individual attempt. Zero leaves
+	// attempts bounded only by the caller's context. A per-attempt
+	// timeout does not abort the retry loop — only the caller's own
+	// context does.
+	PerAttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// WithRetry makes the client's idempotent GETs retry transient failures
+// — transport errors and 5xx responses (a restarting server, a cluster
+// whose workers momentarily vanished) — with exponential backoff and
+// equal jitter. Non-transient typed errors (4xx: invalid input, plan
+// not found...) pass through on the first attempt unchanged, and the
+// final error of an exhausted retry budget is exactly what a
+// single-shot client would have returned.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) {
+		pol := p.withDefaults()
+		c.retry = &pol
+	}
+}
+
+// retryableGet reports whether a GET failure is worth repeating:
+// anything transport-level (the server may be back next attempt) and
+// any 5xx status. 4xx statuses are the caller's mistake and stay
+// final. Caller-context cancellation is handled by the retry loop, not
+// here.
+func retryableGet(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.StatusCode >= http.StatusInternalServerError
+	}
+	return true
+}
+
+// getRetry runs one GET under the retry policy.
+func (c *Client) getRetry(ctx context.Context, path string, out any) error {
+	p := *c.retry
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Equal jitter: half deterministic, half uniform — spreads
+			// synchronized clients without losing the backoff floor.
+			d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return errs.FromContext(ctx.Err())
+			}
+			if delay *= 2; delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.PerAttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
+		}
+		err = c.getOnce(actx, path, out)
+		cancel()
+		if err == nil || !retryableGet(err) {
+			return err
+		}
+		// A dead parent context means the failure is the caller's
+		// cancellation, not the server's weather: stop immediately. A
+		// per-attempt timeout leaves the parent alive and retries.
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

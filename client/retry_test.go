@@ -1,0 +1,133 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	kifmm "repro"
+)
+
+// flakyServer fails the first `failures` GETs with status, then answers
+// /healthz normally.
+func flakyServer(t *testing.T, failures int64, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= failures {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": "transient", "code": "worker_lost"})
+			return
+		}
+		json.NewEncoder(w).Encode(HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestRetryRecoversTransient503: a GET that hits a temporarily degraded
+// server (503, e.g. cluster workers lost) succeeds once capacity is
+// back, within the attempt budget.
+func TestRetryRecoversTransient503(t *testing.T) {
+	ts, hits := flakyServer(t, 2, http.StatusServiceUnavailable)
+	c := New(ts.URL, WithRetry(fastRetry()))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestRetryExhaustionKeepsTypedError: when every attempt fails, the
+// final error is exactly the typed error a single-shot client returns.
+func TestRetryExhaustionKeepsTypedError(t *testing.T) {
+	ts, hits := flakyServer(t, 1000, http.StatusServiceUnavailable)
+	c := New(ts.URL, WithRetry(fastRetry()))
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, kifmm.ErrWorkerLost) {
+		t.Fatalf("exhausted retries returned %v, want worker_lost", err)
+	}
+	var api *APIError
+	if !errors.As(err, &api) || api.StatusCode != http.StatusServiceUnavailable || api.Code != kifmm.CodeWorkerLost {
+		t.Errorf("APIError not preserved through retries: %+v", api)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestRetrySkips4xx: client mistakes are final — no second attempt, and
+// the typed error passes through untouched.
+func TestRetrySkips4xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "nope", "code": "plan_not_found"})
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, WithRetry(fastRetry()))
+	_, err := c.RecentEvals(context.Background(), 1)
+	if !errors.Is(err, kifmm.ErrPlanNotFound) {
+		t.Fatalf("got %v, want plan_not_found", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 404, want 1", got)
+	}
+}
+
+// TestRetryHonorsCallerContext: the caller cancelling stops the loop
+// mid-backoff with a typed cancellation.
+func TestRetryHonorsCallerContext(t *testing.T) {
+	ts, _ := flakyServer(t, 1000, http.StatusInternalServerError)
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Health(ctx)
+	if !errors.Is(err, kifmm.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled retry loop returned %v, want canceled", err)
+	}
+}
+
+// TestRetryPerAttemptTimeout: a hung server trips the per-attempt
+// deadline, the loop moves on, and a healthy attempt still wins.
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+	c := New(ts.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, PerAttemptTimeout: 100 * time.Millisecond,
+	}))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health with hung first attempt: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+}

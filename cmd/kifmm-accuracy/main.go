@@ -11,13 +11,20 @@ import (
 	"os"
 
 	kifmm "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
 	n := flag.Int("n", 4000, "number of particles")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	maxPts := flag.Int("s", 40, "max points per leaf box")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("kifmm-accuracy"))
+		return
+	}
 
 	kernsNames := []string{"laplace", "modlaplace", "stokes", "kelvin"}
 	degrees := []int{4, 6, 8}

@@ -20,6 +20,12 @@
 // as Chrome trace-event JSON (-trace-out; load it in Perfetto or
 // chrome://tracing). Combine with -trajectory to also append a sample
 // carrying the distributed fields (ranks, comm traffic, critical path).
+//
+// `kifmm-bench -exp cluster-smoke` boots a real-TCP loopback cluster
+// (coordinator + two workers in one process tree), runs one evaluation
+// round-trip over the wire, and verifies the result against the
+// single-node engine to 1e-12 relative L2. With -trajectory it appends
+// a sample carrying the real-transport ranks and comm volumes.
 package main
 
 import (
@@ -28,11 +34,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table4.1, fig4.2, table4.2, fig4.3, table4.3, ablation-m2l, exec-workers, parfmm-trace, all)")
+	exp := flag.String("exp", "all", "experiment id (table4.1, fig4.2, table4.2, fig4.3, table4.3, ablation-m2l, exec-workers, parfmm-trace, cluster-smoke, all)")
 	scale := flag.Float64("scale", 1, "multiply the default particle counts by this factor")
 	iters := flag.Int("iters", 1, "average the interaction evaluation over this many iterations")
 	maxP := flag.Int("maxp", 0, "cap the processor sweep at this rank count (0 = default sweep)")
@@ -43,10 +50,21 @@ func main() {
 	label := flag.String("label", "", "free-form tag stored with the trajectory entry")
 	traceOut := flag.String("trace-out", "parfmm-trace.json", "Chrome trace-event output file (with -exp parfmm-trace)")
 	traceRanks := flag.Int("trace-ranks", 0, "simulated rank count for -exp parfmm-trace (0 = default 4)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("kifmm-bench"))
+		return
+	}
 
 	if *exp == "parfmm-trace" {
 		runParfmmTrace(*traceOut, *traceRanks, *trajN, *iters, *traj, *trajFile, *label)
+		return
+	}
+
+	if *exp == "cluster-smoke" {
+		runClusterSmoke(*trajN, *traj, *trajFile, *label)
 		return
 	}
 
@@ -74,6 +92,8 @@ func main() {
 		}
 		fmt.Printf("%-14s %s\n", "parfmm-trace",
 			"traced 4-rank distributed run: per-pass breakdown, critical path, Chrome trace JSON")
+		fmt.Printf("%-14s %s\n", "cluster-smoke",
+			"real-TCP loopback cluster (coordinator + 2 workers): one round-trip checked against single node")
 		return
 	}
 
@@ -152,6 +172,30 @@ func runParfmmTrace(traceOut string, ranks, n, iters int, traj bool, trajFile, l
 			trajFile, entry.GitSHA, entry.Ranks, entry.CriticalPathMS, entry.CommBytes, entry.CommMsgs)
 	}
 	fmt.Printf("[parfmm-trace completed in %s]\n", harness.Elapse(start))
+}
+
+// runClusterSmoke boots the real-TCP loopback cluster, runs one
+// evaluation round-trip, prints the per-rank breakdown, and (with
+// -trajectory) appends a distributed sample carrying the real-transport
+// ranks and comm volumes.
+func runClusterSmoke(n int, traj bool, trajFile, label string) {
+	start := time.Now()
+	rep, err := harness.RunClusterSmoke(harness.ClusterSmokeConfig{N: n})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Table)
+	if traj {
+		entry := harness.ClusterSmokeTrajectoryEntry(rep, label)
+		if err := harness.AppendTrajectory(trajFile, entry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nappended to %s: sha=%s ranks=%d comm=%dB/%d msgs rel_err=%.3g\n",
+			trajFile, entry.GitSHA, entry.Ranks, entry.CommBytes, entry.CommMsgs, rep.RelErr)
+	}
+	fmt.Printf("[cluster-smoke completed in %s]\n", harness.Elapse(start))
 }
 
 func capProcs(ps []int, max int) []int {

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	kifmm "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -21,7 +22,13 @@ func main() {
 	iters := flag.Int("iters", 1, "number of interaction evaluations")
 	dense := flag.Bool("dense-m2l", false, "use dense M2L instead of FFT")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("kifmm-run"))
+		return
+	}
 
 	k, err := kifmm.KernelByName(*kernel)
 	if err != nil {

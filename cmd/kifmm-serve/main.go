@@ -38,6 +38,12 @@
 // deadline their contexts are cancelled, which aborts the running
 // evaluations within one FMM pass so the process exits promptly instead
 // of waiting out a long sweep. A second signal skips the drain.
+//
+// Cluster mode (see README "Cluster mode"): -role coordinator makes
+// this process fan one-shot evaluations of at least -cluster-min-points
+// sources across connected workers over TCP; -role worker joins a
+// coordinator (-join) and contributes its elastic lanes as KIFMM ranks
+// — workers serve no HTTP API, so several can share a machine.
 package main
 
 import (
@@ -54,6 +60,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -70,14 +78,74 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under GET /debug/pprof/")
 	slowEval := flag.Duration("slow-eval", time.Second, "log requests slower than this at WARN (0 = never)")
 	traceRing := flag.Int("trace-ring", 0, "evaluations retained for GET /v1/evals/recent (0 = default 64)")
+	role := flag.String("role", "", `cluster role: "coordinator" fans large one-shot evaluations across joined workers, "worker" joins a coordinator; empty = single node`)
+	join := flag.String("join", "", "coordinator cluster address a worker dials (-role worker)")
+	clusterListen := flag.String("cluster-listen", "", "cluster listener: where the coordinator accepts workers (default 127.0.0.1:7946) or where a worker accepts rank-to-rank mesh traffic (default 127.0.0.1:0)")
+	clusterMinPoints := flag.Int("cluster-min-points", 0, "source count at which one-shot evaluations fan out across the cluster (0 = default 8192; -role coordinator)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster heartbeat interval; a worker silent for two intervals is dropped")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("kifmm-serve"))
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var coord *cluster.Coordinator
+	var worker *cluster.Worker
+	switch *role {
+	case "":
+	case "coordinator":
+		listen := *clusterListen
+		if listen == "" {
+			listen = "127.0.0.1:7946"
+		}
+		var err error
+		coord, err = cluster.StartCoordinator(listen, cluster.CoordinatorConfig{
+			Heartbeat: *heartbeat, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster coordinator:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		fmt.Printf("cluster coordinator accepting workers on %s (heartbeat %v)\n", coord.Addr(), *heartbeat)
+	case "worker":
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "-role worker requires -join <coordinator cluster address>")
+			os.Exit(1)
+		}
+		var err error
+		worker, err = cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: *join, Listen: *clusterListen,
+			Lanes: *maxWorkers, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster worker:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster worker %d joined %s (mesh on %s, %d lanes)\n", worker.ID(), *join, worker.Addr(), *maxWorkers)
+		// Workers are pure compute nodes: no HTTP API, so several can
+		// share a machine without -addr colliding. Block until signalled,
+		// then drain (finish in-flight ranks, tell the coordinator).
+		stop := make(chan os.Signal, 2)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		sig := <-stop
+		fmt.Printf("received %v, draining worker\n", sig)
+		worker.Close()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -role %q (want \"coordinator\", \"worker\" or empty)\n", *role)
+		os.Exit(1)
+	}
 
 	svc := service.New(service.Config{
 		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
 		MaxWorkers: *maxWorkers, MinLanePerEval: *minLane,
 		TraceRing: *traceRing,
+		Cluster:   coord, ClusterMinPoints: *clusterMinPoints,
 	})
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := []service.ServerOption{
 		service.WithEvalTimeout(*evalTimeout),
 		service.WithLogger(logger),

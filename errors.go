@@ -21,7 +21,7 @@ type ErrorCode = errs.Code
 
 // The error codes. See the matching Err* sentinels for semantics; the
 // evaluation service maps them onto HTTP statuses (400, 404, 413, 499,
-// 504, 500 in order below).
+// 504, 500, 503 in order below).
 const (
 	CodeInvalidInput     = errs.CodeInvalidInput
 	CodeUnknownKernel    = errs.CodeUnknownKernel
@@ -30,6 +30,7 @@ const (
 	CodeCanceled         = errs.CodeCanceled
 	CodeDeadlineExceeded = errs.CodeDeadlineExceeded
 	CodeInternal         = errs.CodeInternal
+	CodeWorkerLost       = errs.CodeWorkerLost
 )
 
 // Sentinels for errors.Is.
@@ -55,6 +56,10 @@ var (
 	// ErrInternal: a defect on the implementation's side (e.g. a
 	// recovered panic in the evaluation service), not a caller mistake.
 	ErrInternal = errs.ErrInternal
+	// ErrWorkerLost: a cluster worker disconnected mid-evaluation, or no
+	// workers are available for a cluster-sized request. Retryable once
+	// capacity returns.
+	ErrWorkerLost = errs.ErrWorkerLost
 )
 
 // ErrorCodeOf extracts the taxonomy code from an error chain; ok is

@@ -1,0 +1,50 @@
+// Package buildinfo surfaces the binary's embedded build identity (git
+// revision, Go toolchain) for -version flags and the kifmm_build_info
+// metric, so a scrape or a bug report pins down exactly which build
+// produced it. Everything is read from runtime/debug's embedded build
+// info — no linker flags to forget.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Revision is the VCS revision the binary was built from, shortened to
+// 12 hex digits, with a "-dirty" suffix for modified working trees.
+// "unknown" when the build carries no VCS stamp (e.g. go test binaries
+// or builds outside a checkout).
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// GoVersion is the toolchain that built (or is running) the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String is the one-line identity -version flags print.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s)", binary, Revision(), GoVersion())
+}

@@ -1,0 +1,274 @@
+// Package cluster makes the paper's distributed algorithm real: a TCP
+// implementation of mpi.Transport carrying the parallel KIFMM's
+// point-to-point ghost exchanges and collectives between processes,
+// plus the node lifecycle around it — workers dial a coordinator, join
+// with a hello/capabilities handshake, heartbeat, and drain gracefully;
+// the coordinator Morton-partitions request geometry, assigns each
+// worker a contiguous rank range and drives internal/parfmm's passes
+// over the wire.
+//
+// Topology: control traffic (handshake, heartbeats, job dispatch,
+// collectives, results) flows on each worker's single connection to the
+// coordinator; point-to-point rank traffic (the Algorithm-1
+// gather/scatter payloads) flows over a lazily-dialed worker↔worker
+// mesh, so the coordinator is not a bandwidth bottleneck on the hot
+// path. Every node has its own listener.
+//
+// Wire format: length-prefixed little-endian binary frames. Bulk
+// float64/int32 arrays (coordinates, densities, equivalent densities,
+// potentials) are raw little-endian words — no JSON on the hot path.
+// Small control payloads (handshake, job headers, timelines) are JSON
+// inside their frame.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// frameType discriminates wire frames.
+type frameType uint8
+
+const (
+	// Worker -> coordinator control frames.
+	fHello frameType = iota + 1
+	fHeartbeat
+	fDrain
+	fJobResult
+	fJobError
+	fColl
+	// Coordinator -> worker control frames.
+	fHelloAck
+	fJobStart
+	fJobAbort
+	fCollResp
+	// Worker -> worker mesh frames.
+	fP2P
+)
+
+// maxFrameBytes bounds a single frame (1 GiB: tens of millions of
+// points of coordinate data; anything beyond is a protocol error, not
+// a workload).
+const maxFrameBytes = 1 << 30
+
+// frame header: u32 little-endian length of (type byte + payload).
+const frameHeaderBytes = 4
+
+// framedConn is a net.Conn carrying length-prefixed frames; writes are
+// serialized by an internal mutex so any goroutine may send.
+type framedConn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	wmu sync.Mutex
+}
+
+func newFramedConn(c net.Conn) *framedConn {
+	return &framedConn{c: c, r: bufio.NewReaderSize(c, 1<<16)}
+}
+
+// writeFrame sends one frame (a single Write call after assembly, so
+// frames never interleave even without the mutex — the mutex guards the
+// Write ordering).
+func (fc *framedConn) writeFrame(t frameType, payload []byte) error {
+	if len(payload)+1 > maxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", len(payload)+1, maxFrameBytes)
+	}
+	buf := make([]byte, frameHeaderBytes+1+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[frameHeaderBytes] = byte(t)
+	copy(buf[frameHeaderBytes+1:], payload)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	_, err := fc.c.Write(buf)
+	return err
+}
+
+// readFrame blocks for the next frame. Must be called from a single
+// reader goroutine per connection.
+func (fc *framedConn) readFrame() (frameType, []byte, error) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("cluster: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fc.r, body); err != nil {
+		return 0, nil, err
+	}
+	return frameType(body[0]), body[1:], nil
+}
+
+func (fc *framedConn) Close() error { return fc.c.Close() }
+
+// wbuf builds a frame payload.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *wbuf) f64s(v []float64) {
+	w.u64(uint64(len(v)))
+	off := len(w.b)
+	w.b = append(w.b, make([]byte, 8*len(v))...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(w.b[off+8*i:], math.Float64bits(x))
+	}
+}
+
+func (w *wbuf) i64s(v []int64) {
+	w.u64(uint64(len(v)))
+	off := len(w.b)
+	w.b = append(w.b, make([]byte, 8*len(v))...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(w.b[off+8*i:], uint64(x))
+	}
+}
+
+func (w *wbuf) i32s(v []int32) {
+	w.u64(uint64(len(v)))
+	off := len(w.b)
+	w.b = append(w.b, make([]byte, 4*len(v))...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(w.b[off+4*i:], uint32(x))
+	}
+}
+
+// raw appends a length-prefixed byte blob (JSON side channels).
+func (w *wbuf) raw(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+// rbuf decodes a frame payload; out-of-bounds reads latch an error and
+// return zero values, so decoders check err() once at the end.
+type rbuf struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *rbuf) u8() byte {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (r *rbuf) u32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (r *rbuf) u64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (r *rbuf) i64() int64 { return int64(r.u64()) }
+
+// length reads an array length and sanity-bounds it by the remaining
+// payload (elemBytes per element), so a corrupt length cannot trigger a
+// huge allocation.
+func (r *rbuf) length(elemBytes int) int {
+	n := r.u64()
+	if r.bad || n > uint64(len(r.b)-r.off)/uint64(elemBytes) {
+		r.bad = true
+		return 0
+	}
+	return int(n)
+}
+
+func (r *rbuf) f64s() []float64 {
+	n := r.length(8)
+	raw := r.take(8 * n)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func (r *rbuf) i64s() []int64 {
+	n := r.length(8)
+	raw := r.take(8 * n)
+	if raw == nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func (r *rbuf) i32s() []int32 {
+	n := r.length(4)
+	raw := r.take(4 * n)
+	if raw == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+func (r *rbuf) raw() []byte {
+	n := r.u32()
+	if r.bad || uint64(n) > uint64(len(r.b)-r.off) {
+		r.bad = true
+		return nil
+	}
+	return r.take(int(n))
+}
+
+func (r *rbuf) err() error {
+	if r.bad {
+		return r.errMalformed()
+	}
+	return nil
+}
+
+// errMalformed is the decoder's uniform parse failure.
+func (r *rbuf) errMalformed() error {
+	return fmt.Errorf("cluster: malformed frame payload")
+}
+
+// Collective element kinds on the wire.
+const (
+	collInt64 = iota
+	collFloat64
+	collBarrier
+)

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/kernels"
+	"repro/internal/parfmm"
+)
+
+// helloMsg is the worker->coordinator handshake (JSON payload of
+// fHello): the worker's mesh listener address and its capabilities.
+type helloMsg struct {
+	Name     string `json:"name,omitempty"`
+	PeerAddr string `json:"peer_addr"`
+	Lanes    int    `json:"lanes"`
+}
+
+// helloAck is the coordinator's handshake reply (JSON payload of
+// fHelloAck).
+type helloAck struct {
+	WorkerID    int64 `json:"worker_id"`
+	HeartbeatNS int64 `json:"heartbeat_ns"`
+}
+
+// jobHeader is the JSON part of a job-start frame: everything about the
+// job except the bulk rank inputs.
+type jobHeader struct {
+	Job  uint64 `json:"job"`
+	Size int    `json:"size"` // total ranks
+	// RankLo/RankHi is the receiving worker's contiguous range.
+	RankLo int `json:"rank_lo"`
+	RankHi int `json:"rank_hi"`
+	// Peers maps every rank range to its worker's mesh address.
+	Peers []rankRange `json:"peers"`
+
+	Kernel    kernels.Spec `json:"kernel"`
+	Degree    int          `json:"degree,omitempty"`
+	MaxPoints int          `json:"max_points,omitempty"`
+	MaxDepth  int          `json:"max_depth,omitempty"`
+	Backend   int          `json:"backend,omitempty"`
+	PinvTol   float64      `json:"pinv_tol,omitempty"`
+	Trace     bool         `json:"trace,omitempty"`
+}
+
+// rankRange is one worker's slice of the rank space.
+type rankRange struct {
+	Addr string `json:"addr"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// addrOfRank resolves the mesh address owning a rank.
+func (h *jobHeader) addrOfRank(rank int) string {
+	for _, p := range h.Peers {
+		if rank >= p.Lo && rank < p.Hi {
+			return p.Addr
+		}
+	}
+	return ""
+}
+
+// encodeJobStart assembles a job-start payload: the JSON header plus
+// the receiving worker's rank inputs ([RankLo, RankHi)) as raw binary
+// arrays.
+func encodeJobStart(hdr *jobHeader, inputs []*parfmm.RankInput) ([]byte, error) {
+	raw, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.raw(raw)
+	for _, in := range inputs {
+		w.f64s(in.Pts)
+		w.f64s(in.Den)
+		w.i32s(in.GlobalIdx)
+	}
+	return w.b, nil
+}
+
+// decodeJobStart parses a job-start payload into the header and the
+// local rank inputs.
+func decodeJobStart(p []byte) (*jobHeader, []*parfmm.RankInput, error) {
+	r := rbuf{b: p}
+	raw := r.raw()
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	var hdr jobHeader
+	if err := json.Unmarshal(raw, &hdr); err != nil {
+		return nil, nil, err
+	}
+	n := hdr.RankHi - hdr.RankLo
+	if n < 0 || n > hdr.Size {
+		return nil, nil, r.errMalformed()
+	}
+	inputs := make([]*parfmm.RankInput, n)
+	for i := range inputs {
+		inputs[i] = &parfmm.RankInput{Pts: r.f64s(), Den: r.f64s(), GlobalIdx: r.i32s()}
+	}
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	return &hdr, inputs, nil
+}
+
+// rankResultWire is one rank's result inside a job-result frame.
+type rankResultWire struct {
+	Rank int
+	Pot  []float64
+	// TL is the rank's JSON-encoded obs.RankTimeline (empty without
+	// tracing). Not hot path: one blob per rank per job.
+	TL []byte
+}
+
+func encodeJobResult(job uint64, ranks []rankResultWire) []byte {
+	var w wbuf
+	w.u64(job)
+	w.u32(uint32(len(ranks)))
+	for _, rr := range ranks {
+		w.u32(uint32(rr.Rank))
+		w.f64s(rr.Pot)
+		w.raw(rr.TL)
+	}
+	return w.b
+}
+
+func decodeJobResult(p []byte) (job uint64, ranks []rankResultWire, err error) {
+	r := rbuf{b: p}
+	job = r.u64()
+	n := int(r.u32())
+	if r.bad || n < 0 || n > len(p) {
+		return 0, nil, r.errMalformed()
+	}
+	ranks = make([]rankResultWire, n)
+	for i := range ranks {
+		ranks[i].Rank = int(r.u32())
+		ranks[i].Pot = r.f64s()
+		ranks[i].TL = append([]byte(nil), r.raw()...)
+	}
+	return job, ranks, r.err()
+}
+
+// encodeJobStatus covers job-error (worker->coordinator) and job-abort
+// (coordinator->worker): a job id, a taxonomy code and a message.
+func encodeJobStatus(job uint64, code, msg string) []byte {
+	var w wbuf
+	w.u64(job)
+	w.raw([]byte(code))
+	w.raw([]byte(msg))
+	return w.b
+}
+
+func decodeJobStatus(p []byte) (job uint64, code, msg string, err error) {
+	r := rbuf{b: p}
+	job = r.u64()
+	code = string(r.raw())
+	msg = string(r.raw())
+	return job, code, msg, r.err()
+}
+
+// collMsg is one rank's collective contribution (fColl payload).
+type collMsg struct {
+	Job     uint64
+	Rank    int
+	Kind    byte // collInt64 / collFloat64 / collBarrier
+	Op      byte // mpi.ReduceOp
+	Seq     uint64
+	EntryNS int64
+	I64     []int64
+	F64     []float64
+}
+
+func encodeColl(m *collMsg) []byte {
+	var w wbuf
+	w.u64(m.Job)
+	w.u32(uint32(m.Rank))
+	w.u8(m.Kind)
+	w.u8(m.Op)
+	w.u64(m.Seq)
+	w.i64(m.EntryNS)
+	switch m.Kind {
+	case collInt64:
+		w.i64s(m.I64)
+	case collFloat64:
+		w.f64s(m.F64)
+	}
+	return w.b
+}
+
+func decodeColl(p []byte) (*collMsg, error) {
+	r := rbuf{b: p}
+	m := &collMsg{
+		Job:  r.u64(),
+		Rank: int(r.u32()),
+		Kind: r.u8(),
+		Op:   r.u8(),
+	}
+	m.Seq = r.u64()
+	m.EntryNS = r.i64()
+	switch m.Kind {
+	case collInt64:
+		m.I64 = r.i64s()
+	case collFloat64:
+		m.F64 = r.f64s()
+	}
+	return m, r.err()
+}
+
+// collRespMsg is the coordinator's combined answer to one rank (the
+// fCollResp payload). LastRank/LastEntryNS name the last rank to enter
+// — the synchronization dependency the critical-path walk follows.
+type collRespMsg struct {
+	Job         uint64
+	Rank        int
+	Seq         uint64
+	LastRank    int
+	LastEntryNS int64
+	I64         []int64
+	F64         []float64
+	Kind        byte
+}
+
+func encodeCollResp(m *collRespMsg) []byte {
+	var w wbuf
+	w.u64(m.Job)
+	w.u32(uint32(m.Rank))
+	w.u64(m.Seq)
+	w.u32(uint32(m.LastRank))
+	w.i64(m.LastEntryNS)
+	w.u8(m.Kind)
+	switch m.Kind {
+	case collInt64:
+		w.i64s(m.I64)
+	case collFloat64:
+		w.f64s(m.F64)
+	}
+	return w.b
+}
+
+func decodeCollResp(p []byte) (*collRespMsg, error) {
+	r := rbuf{b: p}
+	m := &collRespMsg{Job: r.u64(), Rank: int(r.u32())}
+	m.Seq = r.u64()
+	m.LastRank = int(r.u32())
+	m.LastEntryNS = r.i64()
+	m.Kind = r.u8()
+	switch m.Kind {
+	case collInt64:
+		m.I64 = r.i64s()
+	case collFloat64:
+		m.F64 = r.f64s()
+	}
+	return m, r.err()
+}
+
+// p2pMsg is one rank-to-rank payload on the mesh (fP2P). SentNS is the
+// sender's clock offset at send completion (its job-origin wall clock),
+// carried so the receiver's ledger event gets a cross-rank dependency
+// timestamp.
+type p2pMsg struct {
+	Job    uint64
+	Src    int
+	Dst    int
+	Tag    int
+	SentNS int64
+	Data   []float64
+}
+
+func encodeP2P(m *p2pMsg) []byte {
+	var w wbuf
+	w.u64(m.Job)
+	w.u32(uint32(m.Src))
+	w.u32(uint32(m.Dst))
+	w.u64(uint64(m.Tag))
+	w.i64(m.SentNS)
+	w.f64s(m.Data)
+	return w.b
+}
+
+func decodeP2P(p []byte) (*p2pMsg, error) {
+	r := rbuf{b: p}
+	m := &p2pMsg{
+		Job: r.u64(),
+		Src: int(r.u32()),
+		Dst: int(r.u32()),
+		Tag: int(r.u64()),
+	}
+	m.SentNS = r.i64()
+	m.Data = r.f64s()
+	return m, r.err()
+}

@@ -51,6 +51,11 @@ const (
 	// CodeInternal: a server-side defect (e.g. a recovered panic) —
 	// not a client mistake. HTTP 500.
 	CodeInternal Code = "internal"
+	// CodeWorkerLost: a cluster worker disconnected (or stopped
+	// heartbeating) while a distributed evaluation depended on it, or no
+	// workers are available for a cluster-sized request. The request is
+	// safely retryable once capacity returns. HTTP 503.
+	CodeWorkerLost Code = "worker_lost"
 )
 
 // Error is a typed API error: a code, a human-readable message and an
@@ -99,6 +104,7 @@ var (
 	ErrCanceled         = &Error{Code: CodeCanceled, Message: "kifmm: canceled", Err: context.Canceled}
 	ErrDeadlineExceeded = &Error{Code: CodeDeadlineExceeded, Message: "kifmm: deadline exceeded", Err: context.DeadlineExceeded}
 	ErrInternal         = &Error{Code: CodeInternal, Message: "kifmm: internal error"}
+	ErrWorkerLost       = &Error{Code: CodeWorkerLost, Message: "kifmm: cluster worker lost"}
 )
 
 // New returns a typed error with a fixed message.
@@ -139,7 +145,8 @@ func FromContext(err error) error {
 func FromCode(code Code, message string) *Error {
 	switch code {
 	case CodeInvalidInput, CodeUnknownKernel, CodePlanTooLarge,
-		CodePlanNotFound, CodeCanceled, CodeDeadlineExceeded, CodeInternal:
+		CodePlanNotFound, CodeCanceled, CodeDeadlineExceeded, CodeInternal,
+		CodeWorkerLost:
 		return &Error{Code: code, Message: message, Err: contextCause(code)}
 	}
 	return nil

@@ -26,9 +26,12 @@ import (
 //     retire, and the freed lanes admit the newcomer. A long evaluation
 //     therefore shrinks as traffic arrives instead of hogging the
 //     machine.
-//   - When load drains, a lease grows back toward its ceiling at its
-//     next ForRange dispatch (pass boundary), so a long evaluation fans
-//     back out on a newly idle pool.
+//   - When load drains, a lease grows back toward its ceiling — at its
+//     next ForRange dispatch (pass boundary), and mid-sweep too: worker 0
+//     re-polls the pool at its chunk-claim boundaries, claims freed
+//     lanes and spawns workers for them, so a long pass admitted narrow
+//     on a busy pool fans back out as soon as the pool drains instead
+//     of crawling to the pass barrier first.
 //
 // Lane accounting is what Acquire admission-controls: the sum of lanes
 // held by live leases never exceeds the capacity, and a caller that
@@ -333,6 +336,33 @@ func (l *Lease) resize() int {
 	return l.held
 }
 
+// tryGrow re-expands a running sweep at a chunk-claim boundary: when
+// every earlier revocation has settled (target == held — a revoked
+// worker returns its lane before retiring, so equality means none are
+// in flight) and the pool's current allocation grants this lease more
+// than it holds, the free lanes are claimed and the target raised.
+// Returns how many new worker goroutines the sweep should start.
+func (l *Lease) tryGrow() int {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l.released || int(l.target.Load()) != l.held {
+		return 0
+	}
+	t := clamp(e.allocsLocked(nil, false)[l], l.min, l.want)
+	extra := t - l.held
+	if free := e.capacity - e.held; extra > free {
+		extra = free
+	}
+	if extra <= 0 {
+		return 0
+	}
+	l.held += extra
+	e.held += extra
+	l.target.Store(int32(l.held))
+	return extra
+}
+
 // shrinkTo returns the lanes beyond width w to the pool at dispatch: a
 // sweep over fewer items than the lease's width cannot use them, and a
 // queued competitor can. The next dispatch's resize reclaims them if
@@ -397,13 +427,26 @@ func (l *Lease) Release() {
 // the lease's current width and returning after every started
 // invocation completed — a barrier. Worker ids stay in [0, MaxWidth()).
 //
-// Elasticity: the width is settled against the pool at dispatch (a
-// lease on a drained pool grows back toward its ceiling), and while the
-// sweep runs each worker re-checks the lease's target between chunk
-// claims — a worker whose lane was revoked finishes its current chunk,
-// returns the lane to the pool and retires, so a concurrent Acquire is
-// admitted within one chunk of work. Worker 0 is never revoked; a sweep
-// always completes.
+// Elasticity, both directions, at chunk-claim boundaries:
+//
+//   - Shrink: each worker re-checks the lease's target between chunk
+//     claims — a worker whose lane was revoked finishes its current
+//     chunk, returns the lane to the pool and retires, so a concurrent
+//     Acquire is admitted within one chunk of work. Worker 0 is never
+//     revoked; a sweep always completes.
+//   - Grow: worker 0 re-polls the pool between its chunk claims; when
+//     competitors have drained and the allocation has room, it claims
+//     the freed lanes and spawns a worker goroutine per lane — a sweep
+//     admitted at width 1 under saturation re-expands mid-pass the
+//     moment the pool goes idle. Revoked-and-regrown lanes reuse the
+//     smallest retired worker ids, so live ids always form the prefix
+//     {0..width-1} and per-worker scratch (sized MaxWidth) never
+//     collides.
+//
+// Width changes never change results: worker ids only index scratch,
+// every index runs exactly once, and per-index accumulation order is
+// the caller's own, so outputs are bitwise identical across every
+// {shrink, regrow} schedule.
 //
 // ctx is checked at dispatch and between chunk claims; on cancellation
 // the sweep stops claiming, the barrier drains, and ForRange returns
@@ -423,29 +466,104 @@ func (l *Lease) ForRange(ctx context.Context, lo, hi int, fn func(worker, i int)
 		// than sitting on them for the whole pass.
 		w = l.shrinkTo(n)
 	}
-	grain := grainFor(n, w)
-	if w <= 1 {
-		for clo := 0; clo < n; clo += grain {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chi := clo + grain
-			if chi > n {
-				chi = n
-			}
-			for i := lo + clo; i < lo+chi; i++ {
-				fn(0, i)
-			}
-		}
-		return nil
+	// Grain by the lease's ceiling, not the momentary width: a shrunk
+	// sweep keeps fine chunks, which is exactly when frequent boundaries
+	// matter (regrowth polls and revocation checks ride on them). At
+	// full width this matches the historical n/(w*8).
+	maxW := l.want
+	if maxW > n {
+		maxW = n
 	}
+	grain := grainFor(n, maxW)
 	var next atomic.Int64
 	var panicOnce sync.Once
 	var panicked any
 	var wg sync.WaitGroup
-	wg.Add(w)
 	done := ctx.Done()
-	for wk := 0; wk < w; wk++ {
+
+	// Retired worker ids, reused smallest-first by regrowth so live ids
+	// stay the contiguous prefix {0..target-1} (the revocation check
+	// retires exactly the ids >= target).
+	var idmu sync.Mutex
+	var freeIDs []int
+	nextID := w
+
+	var runWorker func(wk int)
+	spawn := func(k int) {
+		for ; k > 0; k-- {
+			idmu.Lock()
+			var id int
+			if len(freeIDs) > 0 {
+				min := 0
+				for i := 1; i < len(freeIDs); i++ {
+					if freeIDs[i] < freeIDs[min] {
+						min = i
+					}
+				}
+				id = freeIDs[min]
+				freeIDs[min] = freeIDs[len(freeIDs)-1]
+				freeIDs = freeIDs[:len(freeIDs)-1]
+			} else {
+				id = nextID
+				nextID++
+			}
+			idmu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicOnce.Do(func() { panicked = r })
+					}
+				}()
+				runWorker(id)
+			}()
+		}
+	}
+	runWorker = func(wk int) {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if wk > 0 && wk >= int(l.target.Load()) {
+				// Revoked: record the id before returning the lane, so
+				// once held settles every retired id is reusable.
+				idmu.Lock()
+				freeIDs = append(freeIDs, wk)
+				idmu.Unlock()
+				l.dropLane()
+				return
+			}
+			if wk == 0 {
+				// Only worker 0 polls for growth (it is never revoked,
+				// and one poller bounds the lock traffic). Skip when too
+				// little work remains for new lanes to help.
+				if int64(n)-next.Load() > int64(grain) {
+					if extra := l.tryGrow(); extra > 0 {
+						spawn(extra)
+					}
+				}
+			}
+			clo := next.Add(int64(grain)) - int64(grain)
+			if clo >= int64(n) {
+				return
+			}
+			chi := clo + int64(grain)
+			if chi > int64(n) {
+				chi = int64(n)
+			}
+			for i := lo + int(clo); i < lo+int(chi); i++ {
+				fn(wk, i)
+			}
+		}
+	}
+
+	// Workers 1..w-1 are goroutines; worker 0 runs inline on the caller
+	// (a width-1 sweep pays no goroutine at all until it grows).
+	for wk := 1; wk < w; wk++ {
+		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
 			defer func() {
@@ -453,34 +571,17 @@ func (l *Lease) ForRange(ctx context.Context, lo, hi int, fn func(worker, i int)
 					panicOnce.Do(func() { panicked = r })
 				}
 			}()
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				// Revocation check at the chunk-claim boundary: a worker
-				// beyond the lease's current target hands its lane back
-				// and retires (worker 0 is the floor — some lane always
-				// finishes the range).
-				if wk > 0 && wk >= int(l.target.Load()) {
-					l.dropLane()
-					return
-				}
-				clo := next.Add(int64(grain)) - int64(grain)
-				if clo >= int64(n) {
-					return
-				}
-				chi := clo + int64(grain)
-				if chi > int64(n) {
-					chi = int64(n)
-				}
-				for i := lo + int(clo); i < lo+int(chi); i++ {
-					fn(wk, i)
-				}
-			}
+			runWorker(wk)
 		}(wk)
 	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+			}
+		}()
+		runWorker(0)
+	}()
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)

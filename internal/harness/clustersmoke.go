@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fmm"
+	"repro/internal/geom"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+)
+
+// ClusterSmokeConfig shapes the cluster smoke run: a real-TCP loopback
+// cluster (coordinator + workers, each with its own listener, all in
+// one process tree) evaluates a Laplace problem and is checked against
+// the single-node engine. The zero value runs 2 workers x 2 lanes over
+// 12000 sphere-grid points.
+type ClusterSmokeConfig struct {
+	N              int
+	Workers        int
+	LanesPerWorker int
+	Seed           int64
+}
+
+func (c *ClusterSmokeConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 12000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.LanesPerWorker <= 0 {
+		c.LanesPerWorker = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 9
+	}
+}
+
+// ClusterSmokeReport is the outcome of one cluster smoke run.
+type ClusterSmokeReport struct {
+	Config ClusterSmokeConfig
+	// RelErr is the relative L2 error of the cluster result against the
+	// single-node engine on the identical problem.
+	RelErr float64
+	Ranks  int
+	// ScatterBytes/GatherBytes are the coordinator's control-plane
+	// volumes; CommBytes/CommMsgs the rank-to-rank mesh traffic from
+	// the merged real-transport timeline.
+	ScatterBytes, GatherBytes int64
+	CommBytes, CommMsgs       int64
+	CriticalPathMS            float64
+	Wall                      time.Duration
+	Timeline                  *obs.Timeline
+	Table                     string
+}
+
+// smokeTol is the conformance bound for the smoke run. At degree 4 the
+// equivalent-surface pseudo-inverse is well conditioned and the
+// distributed and single-node operator orderings agree to accumulation
+// accuracy (~1e-15); see the cluster package's conformance test.
+const smokeTol = 1e-12
+
+// RunClusterSmoke boots the loopback cluster, runs one evaluation
+// round-trip over real TCP, verifies it against the single-node engine
+// and tears everything down. A relative error above 1e-12 is an error,
+// so CI fails loudly on a conformance break.
+func RunClusterSmoke(cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := geom.Flatten(geom.SphereGrid(rng, cfg.N, 2, 0.3))
+	den := geom.RandomDensities(rng, cfg.N, 1)
+
+	coord, err := cluster.StartCoordinator("127.0.0.1:0", cluster.CoordinatorConfig{
+		Heartbeat: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster smoke: coordinator: %w", err)
+	}
+	defer coord.Close()
+	workers := make([]*cluster.Worker, 0, cfg.Workers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: coord.Addr(), Lanes: cfg.LanesPerWorker,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster smoke: worker %d: %w", i, err)
+		}
+		workers = append(workers, w)
+	}
+
+	start := time.Now()
+	pot, evalRep, err := coord.Evaluate(context.Background(), cluster.EvalRequest{
+		Src: pts, Den: den, Kernel: kernels.Spec{Name: "laplace"},
+		Degree: 4, MaxPoints: 60,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster smoke: evaluate: %w", err)
+	}
+	wall := time.Since(start)
+
+	// Single-node reference on the identical problem and options.
+	ev, err := fmm.New(pts, pts, fmm.Options{
+		Kernel: kernels.Laplace{}, Degree: 4, MaxPoints: 60, Backend: fmm.M2LFFT,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster smoke: reference build: %w", err)
+	}
+	defer ev.Close()
+	ref, err := ev.Evaluate(den)
+	if err != nil {
+		return nil, fmt.Errorf("cluster smoke: reference evaluate: %w", err)
+	}
+	var num, den2 float64
+	for i := range ref {
+		d := pot[i] - ref[i]
+		num += d * d
+		den2 += ref[i] * ref[i]
+	}
+	relErr := math.Sqrt(num / den2)
+
+	rep := &ClusterSmokeReport{
+		Config:       cfg,
+		RelErr:       relErr,
+		Ranks:        evalRep.Ranks,
+		ScatterBytes: evalRep.ScatterBytes,
+		GatherBytes:  evalRep.GatherBytes,
+		Wall:         wall,
+		Timeline:     evalRep.Timeline,
+	}
+	if tl := evalRep.Timeline; tl != nil {
+		rep.CommBytes = tl.TotalBytes()
+		rep.CommMsgs = int64(tl.TotalMessages())
+		rep.CriticalPathMS = ms(obs.PathDuration(tl.CriticalPath()))
+	}
+	rep.Table = clusterSmokeTable(rep)
+	if relErr > smokeTol {
+		return rep, fmt.Errorf("cluster smoke: relative L2 error %g exceeds %g (cluster diverged from single node)", relErr, smokeTol)
+	}
+	return rep, nil
+}
+
+func clusterSmokeTable(rep *ClusterSmokeReport) string {
+	var b strings.Builder
+	cfg := rep.Config
+	fmt.Fprintf(&b, "cluster smoke: %d workers x %d lanes = %d ranks over TCP loopback, N=%d\n",
+		cfg.Workers, cfg.LanesPerWorker, rep.Ranks, cfg.N)
+	fmt.Fprintf(&b, "round trip %s, rel L2 error vs single node %.3g (tolerance %g)\n",
+		rep.Wall.Round(time.Millisecond), rep.RelErr, smokeTol)
+	fmt.Fprintf(&b, "control plane: scatter %d B, gather %d B; mesh: %d msgs, %d B; critical path %.1fms\n",
+		rep.ScatterBytes, rep.GatherBytes, rep.CommMsgs, rep.CommBytes, rep.CriticalPathMS)
+	if rep.Timeline != nil {
+		b.WriteString("\nrank   elapsed      busy      wait     sent(B)   recv(B)  msgs  colls\n")
+		for _, l := range rep.Timeline.Loads() {
+			fmt.Fprintf(&b, "%4d  %9s %9s %9s  %9d %9d  %4d  %5d\n",
+				l.Rank, l.Elapsed.Round(time.Microsecond), l.Busy.Round(time.Microsecond),
+				l.Wait.Round(time.Microsecond), l.BytesSent, l.BytesRecv, l.MsgsSent, l.Collectives)
+		}
+	}
+	return b.String()
+}
+
+// ClusterSmokeTrajectoryEntry converts a smoke run into a trajectory
+// sample. Ranks and the comm fields describe the real-TCP run:
+// comm_bytes is the rank-to-rank mesh traffic (the quantity comparable
+// with simulated parfmm samples); scatter/gather volumes ride in the
+// table only.
+func ClusterSmokeTrajectoryEntry(rep *ClusterSmokeReport, label string) TrajectoryEntry {
+	return TrajectoryEntry{
+		GitSHA:         GitSHA(),
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		Label:          label,
+		N:              rep.Config.N,
+		Kernel:         kernels.Laplace{}.Name(),
+		Degree:         4,
+		Backend:        "fft",
+		Iterations:     1,
+		WallMS:         ms(rep.Wall),
+		StageMS:        map[string]float64{},
+		NsPerPoint:     float64(rep.Wall.Nanoseconds()) / float64(rep.Config.N),
+		Ranks:          rep.Ranks,
+		CommBytes:      rep.CommBytes,
+		CommMsgs:       rep.CommMsgs,
+		CriticalPathMS: rep.CriticalPathMS,
+	}
+}

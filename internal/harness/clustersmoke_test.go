@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunClusterSmoke boots the real-TCP loopback cluster at a reduced
+// size and checks the report carries the fields the CI artifact needs.
+func TestRunClusterSmoke(t *testing.T) {
+	rep, err := RunClusterSmoke(ClusterSmokeConfig{N: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 4 {
+		t.Errorf("Ranks = %d, want 4 (2 workers x 2 lanes)", rep.Ranks)
+	}
+	if rep.RelErr > smokeTol {
+		t.Errorf("RelErr = %g, want <= %g", rep.RelErr, smokeTol)
+	}
+	if rep.CommBytes <= 0 || rep.CommMsgs <= 0 {
+		t.Errorf("mesh traffic not recorded: %d bytes, %d msgs", rep.CommBytes, rep.CommMsgs)
+	}
+	if rep.ScatterBytes <= 0 || rep.GatherBytes <= 0 {
+		t.Errorf("control-plane traffic not recorded: scatter %d, gather %d", rep.ScatterBytes, rep.GatherBytes)
+	}
+	if !strings.Contains(rep.Table, "rel L2 error") {
+		t.Errorf("table missing error line:\n%s", rep.Table)
+	}
+
+	e := ClusterSmokeTrajectoryEntry(rep, "smoke-test")
+	if e.Ranks != rep.Ranks || e.CommBytes != rep.CommBytes || e.CommMsgs != rep.CommMsgs {
+		t.Errorf("trajectory entry dropped comm fields: %+v", e)
+	}
+	if e.N != 3000 || e.Kernel != "laplace" || e.WallMS <= 0 {
+		t.Errorf("trajectory entry workload shape wrong: %+v", e)
+	}
+}

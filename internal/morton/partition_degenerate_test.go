@@ -1,0 +1,121 @@
+package morton
+
+import "testing"
+
+// checkCoverage asserts the partition assigns every input index exactly
+// once and produced exactly `parts` groups.
+func checkCoverage(t *testing.T, got [][]int, items []Weighted, parts int) {
+	t.Helper()
+	if len(got) != parts {
+		t.Fatalf("want %d parts, got %d", parts, len(got))
+	}
+	seen := make(map[int]bool, len(items))
+	for _, idxs := range got {
+		for _, idx := range idxs {
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("partition covered %d of %d indices", len(seen), len(items))
+	}
+	for _, it := range items {
+		if !seen[it.Index] {
+			t.Fatalf("index %d dropped", it.Index)
+		}
+	}
+}
+
+// checkContiguity asserts each part is a contiguous run of the
+// Morton-sorted order (keys never go backwards across part boundaries).
+func checkContiguity(t *testing.T, got [][]int, items []Weighted) {
+	t.Helper()
+	byIdx := make(map[int]Key, len(items))
+	for _, it := range items {
+		byIdx[it.Index] = it.Key
+	}
+	last, first := Key{}, true
+	for _, p := range got {
+		for _, idx := range p {
+			k := byIdx[idx]
+			if !first && k.Less(last) {
+				t.Fatal("parts are not contiguous along the Morton curve")
+			}
+			last, first = k, false
+		}
+	}
+}
+
+// TestPartitionDuplicateCoordinates: coincident points collapse to
+// identical Morton keys; the partition must still cover every index
+// exactly once, deterministically (the sort tiebreaks on Index).
+func TestPartitionDuplicateCoordinates(t *testing.T) {
+	c := [3]float64{0, 0, 0}
+	items := make([]Weighted, 40)
+	for i := range items {
+		// Four distinct locations, ten copies each.
+		q := float64(i%4)/4 - 0.5
+		items[i] = Weighted{Key: PointKey(q, q, q, c, 1), Weight: 3, Index: i}
+	}
+	for _, parts := range []int{1, 3, 8} {
+		got := Partition(items, parts)
+		checkCoverage(t, got, items, parts)
+		checkContiguity(t, got, items)
+		// Determinism: a second run over the same input is identical.
+		again := Partition(items, parts)
+		for p := range got {
+			if len(got[p]) != len(again[p]) {
+				t.Fatalf("duplicate-key partition not deterministic at part %d", p)
+			}
+			for i := range got[p] {
+				if got[p][i] != again[p][i] {
+					t.Fatalf("duplicate-key partition not deterministic at part %d item %d", p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionAllZeroWeights: zero total weight must not panic or
+// divide by zero; every index still lands in exactly one part and the
+// Morton order is preserved. (Balance is meaningless at zero weight —
+// the greedy splitter puts everything in one part, which is legal.)
+func TestPartitionAllZeroWeights(t *testing.T) {
+	items := make([]Weighted, 16)
+	for i := range items {
+		items[i] = Weighted{Key: Encode(2, uint32(i%4), uint32(i/4), 0), Weight: 0, Index: i}
+	}
+	for _, parts := range []int{1, 2, 5} {
+		got := Partition(items, parts)
+		checkCoverage(t, got, items, parts)
+		checkContiguity(t, got, items)
+	}
+}
+
+// TestPartitionMoreParts: more parts than items — some parts are empty,
+// nothing panics, no item is dropped or duplicated.
+func TestPartitionMoreParts(t *testing.T) {
+	items := []Weighted{
+		{Key: Encode(1, 0, 0, 0), Weight: 5, Index: 0},
+		{Key: Encode(1, 1, 0, 0), Weight: 1, Index: 1},
+		{Key: Encode(1, 1, 1, 1), Weight: 2, Index: 2},
+	}
+	got := Partition(items, 7)
+	checkCoverage(t, got, items, 7)
+	checkContiguity(t, got, items)
+	nonEmpty := 0
+	for _, p := range got {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 || nonEmpty > 3 {
+		t.Fatalf("3 items across 7 parts occupy %d parts, want 1..3", nonEmpty)
+	}
+
+	// Empty input: every part exists and is empty.
+	empty := Partition(nil, 4)
+	checkCoverage(t, empty, nil, 4)
+}

@@ -153,6 +153,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.add(name, help, "gauge", nil, nil, nil).seriesFor(nil).g
 }
 
+// GaugeVec registers a labeled gauge family; With materializes the
+// series per label-value combination (e.g. a build-info gauge whose
+// labels carry the version strings).
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.add(name, help, "gauge", labels, nil, nil)}
+}
+
 // GaugeFunc registers a gauge whose value is read from fn at every
 // render — for live state (cache sizes, lanes in use) that already has
 // an owner.
@@ -254,6 +261,15 @@ func (v *CounterVec) Snapshot() map[string]int64 {
 		out[strings.Join(s.vals, ",")] = s.c.Value()
 	}
 	return out
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first
+// use). The number of values must match the registered label names.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.seriesFor(labelValues).g
 }
 
 // HistogramVec is a histogram family with labels.

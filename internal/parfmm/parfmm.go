@@ -192,15 +192,15 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 		starts[i+1] = starts[i] + patches[i].Count()
 	}
 
-	inputs := make([]*rankInput, nproc)
+	inputs := make([]*RankInput, nproc)
 	for r := 0; r < nproc; r++ {
-		in := &rankInput{}
+		in := &RankInput{}
 		for _, pi := range parts[r] {
-			in.pts = append(in.pts, patches[pi].Points...)
+			in.Pts = append(in.Pts, patches[pi].Points...)
 			for j := 0; j < patches[pi].Count(); j++ {
 				g := starts[pi] + j
-				in.globalIdx = append(in.globalIdx, int32(g))
-				in.den = append(in.den, den[g*sd:(g+1)*sd]...)
+				in.GlobalIdx = append(in.GlobalIdx, int32(g))
+				in.Den = append(in.Den, den[g*sd:(g+1)*sd]...)
 			}
 		}
 		inputs[r] = in
@@ -266,7 +266,7 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 		// shared result (serialized by the token; indices are disjoint
 		// across ranks).
 		work := rk.pointWorkEstimate()
-		for i, g := range rk.in.globalIdx {
+		for i, g := range rk.in.GlobalIdx {
 			copy(pot[int(g)*td:(int(g)+1)*td], rk.pot[i*td:(i+1)*td])
 			pointWork[g] = work[i]
 		}
@@ -289,10 +289,4 @@ func Evaluate(patches []geom.Patch, den []float64, nproc int, opt Options) (*Res
 		res.Timeline = obs.MergeTimeline(timelines)
 	}
 	return res, nil
-}
-
-type rankInput struct {
-	pts       []float64
-	den       []float64
-	globalIdx []int32
 }

@@ -78,7 +78,7 @@ func (rk *rank) postSourceGather() {
 		payload := make([]float64, 0, 3*b.SrcCount+sd*b.SrcCount)
 		payload = append(payload, rk.tree.SrcSlice(int32(bi))...)
 		payload = append(payload, rk.pden[b.SrcStart*sd:(b.SrcStart+b.SrcCount)*sd]...)
-		rk.c.Send(int(rk.owner[bi]), bi*4+tagSrcGather, payload, 8*len(payload))
+		rk.c.SendFloat64s(int(rk.owner[bi]), bi*4+tagSrcGather, payload)
 	}
 }
 
@@ -102,7 +102,7 @@ func (rk *rank) exchangeSources() {
 				if r == me {
 					return
 				}
-				payload := c.Recv(r, bi*4+tagSrcGather).([]float64)
+				payload := c.RecvFloat64s(r, bi*4+tagSrcGather)
 				np := len(payload) / (3 + sd)
 				pos = append(pos, payload[:3*np]...)
 				den = append(den, payload[3*np:]...)
@@ -115,14 +115,14 @@ func (rk *rank) exchangeSources() {
 				if r == me {
 					return
 				}
-				c.Send(r, bi*4+tagSrcScatter, global, 8*len(global))
+				c.SendFloat64s(r, bi*4+tagSrcScatter, global)
 			})
 			if rk.isUser(rk.srcUse, int32(bi)) {
 				rk.ghostPos[int32(bi)] = pos
 				rk.ghostDen[int32(bi)] = den
 			}
 		} else if rk.isUser(rk.srcUse, int32(bi)) {
-			payload := c.Recv(int(rk.owner[bi]), bi*4+tagSrcScatter).([]float64)
+			payload := c.RecvFloat64s(int(rk.owner[bi]), bi*4+tagSrcScatter)
 			np := len(payload) / (3 + sd)
 			rk.ghostPos[int32(bi)] = payload[:3*np]
 			rk.ghostDen[int32(bi)] = payload[3*np:]
@@ -138,7 +138,7 @@ func (rk *rank) postDensityGather() {
 		if rk.phiU[bi] == nil || rk.owner[bi] == int32(me) {
 			continue
 		}
-		rk.c.Send(int(rk.owner[bi]), bi*4+tagDenGather, rk.phiU[bi], 8*len(rk.phiU[bi]))
+		rk.c.SendFloat64s(int(rk.owner[bi]), bi*4+tagDenGather, rk.phiU[bi])
 	}
 }
 
@@ -158,7 +158,7 @@ func (rk *rank) exchangeDensities() {
 				if r == me {
 					return
 				}
-				part := c.Recv(r, bi*4+tagDenGather).([]float64)
+				part := c.RecvFloat64s(r, bi*4+tagDenGather)
 				for i := range sum {
 					sum[i] += part[i]
 				}
@@ -167,13 +167,13 @@ func (rk *rank) exchangeDensities() {
 				if r == me {
 					return
 				}
-				c.Send(r, bi*4+tagDenScatter, sum, 8*len(sum))
+				c.SendFloat64s(r, bi*4+tagDenScatter, sum)
 			})
 			if rk.isUser(rk.denUse, int32(bi)) {
 				rk.ghostPhi[int32(bi)] = sum
 			}
 		} else if rk.isUser(rk.denUse, int32(bi)) {
-			rk.ghostPhi[int32(bi)] = c.Recv(int(rk.owner[bi]), bi*4+tagDenScatter).([]float64)
+			rk.ghostPhi[int32(bi)] = c.RecvFloat64s(int(rk.owner[bi]), bi*4+tagDenScatter)
 		}
 	}
 }

@@ -13,10 +13,12 @@ import (
 	"repro/internal/tree"
 )
 
-// rank holds one simulated processor's state.
+// rank holds one processor's state. c is any mpi.Transport — the
+// in-process simulation (Evaluate) or the cluster's TCP transport
+// (EvaluateRank); the algorithm code is identical over both.
 type rank struct {
-	c   *mpi.Comm
-	in  *rankInput
+	c   mpi.Transport
+	in  *RankInput
 	opt Options
 
 	// tl records this rank's span timeline and communication ledger
@@ -47,7 +49,7 @@ type rank struct {
 	stats fmm.Stats
 }
 
-func newRank(c *mpi.Comm, in *rankInput, opt Options) *rank {
+func newRank(c mpi.Transport, in *RankInput, opt Options) *rank {
 	return &rank{c: c, in: in, opt: opt}
 }
 
@@ -125,12 +127,12 @@ func (rk *rank) buildGlobalTree() {
 	// Globally agreed computational domain.
 	lo := []float64{math.Inf(1), math.Inf(1), math.Inf(1)}
 	hi := []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
-	for i := 0; i+2 < len(rk.in.pts); i += 3 {
+	for i := 0; i+2 < len(rk.in.Pts); i += 3 {
 		for d := 0; d < 3; d++ {
-			if v := rk.in.pts[i+d]; v < lo[d] {
+			if v := rk.in.Pts[i+d]; v < lo[d] {
 				lo[d] = v
 			}
-			if v := rk.in.pts[i+d]; v > hi[d] {
+			if v := rk.in.Pts[i+d]; v > hi[d] {
 				hi[d] = v
 			}
 		}
@@ -150,7 +152,7 @@ func (rk *rank) buildGlobalTree() {
 	}
 	hw *= 1 + 1e-10
 
-	sorted, perm, keys := tree.SortPointsByKey(rk.in.pts, center, hw)
+	sorted, perm, keys := tree.SortPointsByKey(rk.in.Pts, center, hw)
 	n := len(keys)
 
 	maxDepth := rk.opt.MaxDepth
@@ -225,9 +227,9 @@ func (rk *rank) buildGlobalTree() {
 	rk.tree = tree.Assemble(center, hw, boxes, levelStart, sorted, perm, rk.opt.MaxPoints)
 	// Permute densities into Morton order.
 	sd := rk.opt.Kernel.SourceDim()
-	rk.pden = make([]float64, len(rk.in.den))
+	rk.pden = make([]float64, len(rk.in.Den))
 	for i, orig := range perm {
-		copy(rk.pden[i*sd:(i+1)*sd], rk.in.den[int(orig)*sd:(int(orig)+1)*sd])
+		copy(rk.pden[i*sd:(i+1)*sd], rk.in.Den[int(orig)*sd:(int(orig)+1)*sd])
 	}
 	// Translation operators (shared across ranks via the global cache).
 	ops, err := translate.NewSet(rk.opt.Kernel, rk.opt.Degree, hw, rk.opt.PinvTol)

@@ -269,6 +269,8 @@ func statusOf(err error) (int, errs.Code) {
 			return http.StatusGatewayTimeout, code
 		case errs.CodeInternal:
 			return http.StatusInternalServerError, code
+		case errs.CodeWorkerLost:
+			return http.StatusServiceUnavailable, code
 		}
 	}
 	switch {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	kifmm "repro"
+	"repro/internal/cluster"
 	"repro/internal/errs"
 	"repro/internal/fmm"
 	"repro/internal/kernels"
@@ -79,6 +81,16 @@ type Config struct {
 	// ring holds at most this many finished trees, each a few spans
 	// per tree level.
 	TraceRing int
+	// Cluster, when non-nil, makes this service a cluster coordinator:
+	// one-shot evaluations with at least ClusterMinPoints sources (and
+	// default targets) fan out across the connected workers instead of
+	// running on the local engine. Plan-based endpoints always run
+	// locally — the plan cache is a single-node amortization.
+	Cluster *cluster.Coordinator
+	// ClusterMinPoints is the source-count threshold at which one-shot
+	// evaluations route to the cluster (default 8192). Ignored when
+	// Cluster is nil.
+	ClusterMinPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = 64
+	}
+	if c.ClusterMinPoints <= 0 {
+		c.ClusterMinPoints = 8192
 	}
 	return c
 }
@@ -588,7 +603,15 @@ func (s *Service) EvaluateOnce(ctx context.Context, req OneShotRequest) (PlanInf
 
 // EvaluateOnceTraced is EvaluateOnce also returning the evaluation's
 // span tree (nil on error); see EvaluateTraced.
+//
+// On a coordinator (Config.Cluster), cluster-sized requests fan out
+// across the connected workers transparently: same request shape, same
+// response shape, no plan id (nothing is cached — the distributed
+// engine rebuilds its tree per evaluation, the paper's setting).
 func (s *Service) EvaluateOnceTraced(ctx context.Context, req OneShotRequest) (PlanInfo, []float64, EvalStats, *obs.Span, error) {
+	if s.clusterSized(req.PlanRequest) {
+		return s.evaluateCluster(ctx, req)
+	}
 	p, cached, err := s.register(ctx, req.PlanRequest)
 	if err != nil {
 		return PlanInfo{}, nil, EvalStats{}, nil, err
@@ -598,6 +621,79 @@ func (s *Service) EvaluateOnceTraced(ctx context.Context, req OneShotRequest) (P
 		return PlanInfo{}, nil, EvalStats{}, nil, err
 	}
 	return p.info(cached), pot, st, span, nil
+}
+
+// clusterSized reports whether a one-shot request should fan out
+// across the cluster: a coordinator is configured, the geometry has at
+// least ClusterMinPoints sources, and the targets default to the
+// sources (the distributed engine evaluates at source points).
+func (s *Service) clusterSized(req PlanRequest) bool {
+	return s.cfg.Cluster != nil && len(req.Trg) == 0 &&
+		len(req.Src)/3 >= s.cfg.ClusterMinPoints
+}
+
+// evaluateCluster runs one validated one-shot request through the
+// cluster coordinator. Failures keep the errs taxonomy: a lost worker
+// or an empty cluster surfaces as worker_lost (HTTP 503) while
+// single-node plans keep serving — the degraded mode.
+func (s *Service) evaluateCluster(ctx context.Context, req OneShotRequest) (PlanInfo, []float64, EvalStats, *obs.Span, error) {
+	// resolve reuses the single-node validation (coordinate and option
+	// bounds); the plan key it computes is unused here.
+	src, _, opt, spec, _, err := s.resolve(req.PlanRequest)
+	if err != nil {
+		return PlanInfo{}, nil, EvalStats{}, nil, err
+	}
+	srcCount := len(src) / 3
+	sd, td := opt.Kernel.SourceDim(), opt.Kernel.TargetDim()
+	if want := srcCount * sd; len(req.Densities) != want {
+		s.m.evalErrors.Inc()
+		return PlanInfo{}, nil, EvalStats{}, nil, badRequest("densities length %d, want %d (%d sources x %d components)",
+			len(req.Densities), want, srcCount, sd)
+	}
+	start := time.Now()
+	pot, rep, err := s.cfg.Cluster.Evaluate(ctx, cluster.EvalRequest{
+		Src: src, Den: req.Densities, Kernel: spec,
+		Degree: opt.Degree, MaxPoints: opt.MaxPoints, MaxDepth: opt.MaxDepth,
+		Backend: int(opt.Backend), PinvTol: opt.PinvTol,
+	})
+	if err != nil {
+		if code, _ := errs.CodeOf(errs.FromContext(err)); code == errs.CodeCanceled || code == errs.CodeDeadlineExceeded {
+			s.m.evalCanceled.Inc()
+		} else {
+			s.m.evalErrors.Inc()
+		}
+		return PlanInfo{}, nil, EvalStats{}, nil, errs.Typed(err, errs.CodeInternal)
+	}
+	wall := time.Since(start)
+	s.m.evaluations.Inc()
+	s.m.evalBatches.Inc()
+	s.m.evalBatchSize.Observe(1)
+	s.m.evalSeconds.Observe(wall.Seconds())
+	if srcCount > 0 {
+		s.m.evalNsPerPoint.Set(float64(wall.Nanoseconds()) / float64(srcCount))
+	}
+	// The cluster's own trace is the merged per-rank timeline; the span
+	// tree exposed through /v1/evals/recent carries the fan-out summary
+	// so cluster evaluations are visible next to local ones.
+	span := &obs.Span{Name: "cluster_evaluate", Start: start, Duration: wall}
+	span.SetAttr("ranks", strconv.Itoa(rep.Ranks))
+	span.SetAttr("workers", strconv.Itoa(rep.Workers))
+	span.SetAttr("scatter_bytes", strconv.FormatInt(rep.ScatterBytes, 10))
+	span.SetAttr("gather_bytes", strconv.FormatInt(rep.GatherBytes, 10))
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		span.SetAttr("trace_id", tc.TraceID)
+		span.SetAttr("span_id", tc.SpanID)
+	}
+	if meta, ok := requestMetaFrom(ctx); ok && meta.id != "" {
+		span.SetAttr("request_id", meta.id)
+	}
+	s.spans.Add(span)
+	info := PlanInfo{
+		Kernel: spec, SrcCount: srcCount, TrgCount: srcCount,
+		SourceDim: sd, TargetDim: td,
+	}
+	st := EvalStats{TotalNanos: wall.Nanoseconds(), GrantedLanes: rep.Ranks}
+	return info, pot, st, span, nil
 }
 
 // Plans returns the number of live cached plans.
