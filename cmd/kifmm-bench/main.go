@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -180,7 +181,7 @@ func runParfmmTrace(traceOut string, ranks, n, iters int, traj bool, trajFile, l
 // ranks and comm volumes.
 func runClusterSmoke(n int, traj bool, trajFile, label string) {
 	start := time.Now()
-	rep, err := harness.RunClusterSmoke(harness.ClusterSmokeConfig{N: n})
+	rep, err := harness.RunClusterSmoke(context.Background(), harness.ClusterSmokeConfig{N: n})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

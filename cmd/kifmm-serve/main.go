@@ -102,7 +102,7 @@ func main() {
 			listen = "127.0.0.1:7946"
 		}
 		var err error
-		coord, err = cluster.StartCoordinator(listen, cluster.CoordinatorConfig{
+		coord, err = cluster.StartCoordinator(context.Background(), listen, cluster.CoordinatorConfig{
 			Heartbeat: *heartbeat, Logger: logger,
 		})
 		if err != nil {
@@ -117,7 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		var err error
-		worker, err = cluster.StartWorker(cluster.WorkerConfig{
+		worker, err = cluster.StartWorker(context.Background(), cluster.WorkerConfig{
 			Coordinator: *join, Listen: *clusterListen,
 			Lanes: *maxWorkers, Logger: logger,
 		})

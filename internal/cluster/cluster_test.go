@@ -105,13 +105,13 @@ func TestCodecRoundTrips(t *testing.T) {
 // with its own listener, and tears everything down at test end.
 func startCluster(t *testing.T, hb time.Duration, lanes ...int) (*Coordinator, []*Worker) {
 	t.Helper()
-	coord, err := StartCoordinator("127.0.0.1:0", CoordinatorConfig{Heartbeat: hb})
+	coord, err := StartCoordinator(context.Background(), "127.0.0.1:0", CoordinatorConfig{Heartbeat: hb})
 	if err != nil {
 		t.Fatal(err)
 	}
 	workers := make([]*Worker, len(lanes))
 	for i, l := range lanes {
-		w, err := StartWorker(WorkerConfig{Coordinator: coord.Addr(), Lanes: l})
+		w, err := StartWorker(context.Background(), WorkerConfig{Coordinator: coord.Addr(), Lanes: l})
 		if err != nil {
 			t.Fatal(err)
 		}

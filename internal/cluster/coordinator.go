@@ -143,14 +143,16 @@ type Coordinator struct {
 }
 
 // StartCoordinator listens on addr (e.g. "127.0.0.1:0") and serves
-// worker joins until Close.
-func StartCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
+// worker joins until Close. ctx bounds the coordinator's lifetime:
+// cancelling it closes the coordinator, failing in-flight jobs and
+// dropping every worker connection.
+func StartCoordinator(ctx context.Context, addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 2 * time.Second
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+		return nil, errs.Newf(errs.CodeInternal, "cluster: coordinator listen: %w", err)
 	}
 	c := &Coordinator{
 		cfg:     cfg,
@@ -162,6 +164,7 @@ func StartCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) 
 	if c.log == nil {
 		c.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	context.AfterFunc(ctx, func() { c.Close() })
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.monitor()

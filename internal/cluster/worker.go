@@ -61,13 +61,21 @@ type Worker struct {
 
 	jobWG sync.WaitGroup // in-flight job runners
 	wg    sync.WaitGroup // loops and mesh readers
+
+	// runCtx bounds the worker's job admissions; it is derived from the
+	// StartWorker ctx and cancelled at teardown, so queued pool waits
+	// unblock when either the caller or the worker itself shuts down.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
 }
 
-// StartWorker connects to a coordinator and joins the cluster. The
-// returned worker serves jobs until Close (graceful drain) or Kill.
-func StartWorker(cfg WorkerConfig) (*Worker, error) {
+// StartWorker connects to a coordinator and joins the cluster. ctx
+// bounds the worker's lifetime: cancelling it kills the worker (the
+// immediate, non-draining shutdown). The returned worker otherwise
+// serves jobs until Close (graceful drain) or Kill.
+func StartWorker(ctx context.Context, cfg WorkerConfig) (*Worker, error) {
 	if cfg.Coordinator == "" {
-		return nil, fmt.Errorf("cluster: WorkerConfig.Coordinator is required")
+		return nil, errs.New(errs.CodeInvalidInput, "cluster: WorkerConfig.Coordinator is required")
 	}
 	if cfg.Listen == "" {
 		cfg.Listen = "127.0.0.1:0"
@@ -95,14 +103,14 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: worker listen: %w", err)
+		return nil, errs.Newf(errs.CodeInternal, "cluster: worker listen: %w", err)
 	}
 	w.ln = ln
 
 	conn, err := net.Dial("tcp", cfg.Coordinator)
 	if err != nil {
 		ln.Close()
-		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", cfg.Coordinator, err)
+		return nil, errs.Newf(errs.CodeInternal, "cluster: dial coordinator %s: %w", cfg.Coordinator, err)
 	}
 	w.ctrl = newFramedConn(conn)
 
@@ -131,7 +139,7 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		conn.Close()
 		ln.Close()
-		return nil, fmt.Errorf("cluster: handshake with %s: %w", cfg.Coordinator, err)
+		return nil, errs.Typed(fmt.Errorf("cluster: handshake with %s: %w", cfg.Coordinator, err), errs.CodeInternal)
 	}
 	w.id = ack.WorkerID
 	w.hb = time.Duration(ack.HeartbeatNS)
@@ -140,6 +148,8 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	w.log.Info("cluster worker joined", "worker_id", w.id, "coordinator", cfg.Coordinator, "mesh_addr", ln.Addr().String(), "lanes", cfg.Lanes)
 
+	w.runCtx, w.cancelRun = context.WithCancel(ctx)
+	context.AfterFunc(ctx, w.Kill)
 	w.wg.Add(3)
 	go w.ctrlLoop()
 	go w.heartbeatLoop()
@@ -374,7 +384,7 @@ func (w *Worker) runJob(j *workerJob, inputs []*parfmm.RankInput) {
 		w.reportJobError(j, errs.Typed(err, errs.CodeInvalidInput))
 		return
 	}
-	lease, err := w.pool.Acquire(context.Background(), nLocal)
+	lease, err := w.pool.Acquire(w.runCtx, nLocal)
 	if err != nil {
 		w.reportJobError(j, err)
 		return
@@ -495,6 +505,9 @@ func (w *Worker) teardown() {
 		return
 	}
 	w.closed = true
+	if w.cancelRun != nil {
+		w.cancelRun()
+	}
 	peers := w.peers
 	w.peers = make(map[string]*framedConn)
 	inbound := w.inbound

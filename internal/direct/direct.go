@@ -5,10 +5,12 @@
 package direct
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/errs"
 	"repro/internal/kernels"
 )
 
@@ -36,8 +38,10 @@ func Evaluate(k kernels.Kernel, trg, src, den []float64) ([]float64, error) {
 
 // EvaluateParallel is Evaluate sharded over workers goroutines (default
 // GOMAXPROCS when workers <= 0). Targets are independent, so the shards
-// never contend.
-func EvaluateParallel(k kernels.Kernel, trg, src, den []float64, workers int) ([]float64, error) {
+// never contend. ctx bounds the summation: every shard checks it
+// between target blocks, so cancelling a large O(N²) reference run
+// (the conformance sweeps reach N=20k) aborts within one block.
+func EvaluateParallel(ctx context.Context, k kernels.Kernel, trg, src, den []float64, workers int) ([]float64, error) {
 	if len(trg)%3 != 0 || len(src)%3 != 0 {
 		return nil, fmt.Errorf("direct: coordinates must be flat x,y,z slices")
 	}
@@ -54,21 +58,44 @@ func EvaluateParallel(k kernels.Kernel, trg, src, den []float64, workers int) ([
 		workers = nt
 	}
 	if workers <= 1 {
-		evaluateRange(k, trg, src, den, pot, 0, nt)
+		if err := evaluateRangeCtx(ctx, k, trg, src, den, pot, 0, nt); err != nil {
+			return nil, err
+		}
 		return pot, nil
 	}
 	var wg sync.WaitGroup
+	errc := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		lo := nt * w / workers
 		hi := nt * (w + 1) / workers
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			evaluateRange(k, trg, src, den, pot, lo, hi)
+			if err := evaluateRangeCtx(ctx, k, trg, src, den, pot, lo, hi); err != nil {
+				errc <- err
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
 	return pot, nil
+}
+
+// evaluateRangeCtx is evaluateRange with a cancellation check between
+// target blocks; a cancelled run returns the typed taxonomy error.
+func evaluateRangeCtx(ctx context.Context, k kernels.Kernel, trg, src, den, pot []float64, lo, hi int) error {
+	for tb := lo; tb < hi; tb += blockSize {
+		if err := ctx.Err(); err != nil {
+			return errs.FromContext(err)
+		}
+		te := min(tb+blockSize, hi)
+		evaluateRange(k, trg, src, den, pot, tb, te)
+	}
+	return nil
 }
 
 // evaluateRange fills pot for targets [lo, hi) with blocked loops.

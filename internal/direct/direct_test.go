@@ -1,6 +1,7 @@
 package direct
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -73,7 +74,7 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 3, 8, 1000} {
-		got, err := EvaluateParallel(kernels.Laplace{}, trg, src, den, workers)
+		got, err := EvaluateParallel(context.Background(), kernels.Laplace{}, trg, src, den, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,10 +93,10 @@ func TestValidation(t *testing.T) {
 	if _, err := Evaluate(kernels.Laplace{}, nil, []float64{1, 2, 3}, []float64{1, 2}); err == nil {
 		t.Error("wrong density length must error")
 	}
-	if _, err := EvaluateParallel(kernels.Laplace{}, []float64{1}, nil, nil, 2); err == nil {
+	if _, err := EvaluateParallel(context.Background(), kernels.Laplace{}, []float64{1}, nil, nil, 2); err == nil {
 		t.Error("parallel: malformed targets must error")
 	}
-	if _, err := EvaluateParallel(kernels.Laplace{}, nil, nil, []float64{1}, 2); err == nil {
+	if _, err := EvaluateParallel(context.Background(), kernels.Laplace{}, nil, nil, []float64{1}, 2); err == nil {
 		t.Error("parallel: wrong density length must error")
 	}
 }

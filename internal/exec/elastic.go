@@ -180,7 +180,7 @@ func (e *Elastic) Acquire(ctx context.Context, want int) (*Lease, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism lease-wait timing feeds the acquire observer, not numerics
 	e.mu.Lock()
 	if want <= 0 || want > e.capacity {
 		want = e.capacity
@@ -254,10 +254,10 @@ func (e *Elastic) Acquire(ctx context.Context, want int) (*Lease, error) {
 func (e *Elastic) allocsLocked(extra *Lease, queued bool) map[*Lease]int {
 	claimants := make([]*Lease, 0, len(e.leases)+len(e.waiters)+1)
 	for o := range e.leases {
-		claimants = append(claimants, o)
+		claimants = append(claimants, o) //lint:allow determinism claimants are totally ordered by (want, arrival) just below
 	}
 	for o := range e.waiters {
-		claimants = append(claimants, o)
+		claimants = append(claimants, o) //lint:allow determinism claimants are totally ordered by (want, arrival) just below
 	}
 	if extra != nil && !queued {
 		claimants = append(claimants, extra)

@@ -217,7 +217,7 @@ func DefaultPool() *exec.Elastic {
 // the same set, as in the paper's experiments) and prepares the
 // translation operators. It is NewCtx with context.Background().
 func New(src, trg []float64, opt Options) (*Evaluator, error) {
-	return NewCtx(context.Background(), src, trg, opt)
+	return NewCtx(context.Background(), src, trg, opt) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 }
 
 // NewCtx is the context-aware plan build: ctx is checked before and
@@ -320,7 +320,7 @@ func (e *Evaluator) Close() {
 // den holds SourceDim components per source in the original input order;
 // the result has TargetDim components per target in input order.
 func (e *Evaluator) Evaluate(den []float64) ([]float64, error) {
-	pot, _, err := e.EvaluateStatsCtx(context.Background(), den)
+	pot, _, err := e.EvaluateStatsCtx(context.Background(), den) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 	return pot, err
 }
 
@@ -337,7 +337,7 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, den []float64) ([]float64, 
 // directly, so concurrent callers get their own stats instead of racing
 // on Stats().
 func (e *Evaluator) EvaluateStats(den []float64) ([]float64, Stats, error) {
-	return e.EvaluateStatsCtx(context.Background(), den)
+	return e.EvaluateStatsCtx(context.Background(), den) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 }
 
 // EvaluateStatsCtx is EvaluateCtx returning this call's stage breakdown.
@@ -356,7 +356,7 @@ func (e *Evaluator) EvaluateStatsCtx(ctx context.Context, den []float64) ([]floa
 // apply it to every right-hand side). Results match per-vector Evaluate
 // calls to accumulation-order rounding.
 func (e *Evaluator) EvaluateBatch(dens [][]float64) ([][]float64, error) {
-	pots, _, err := e.evaluate(context.Background(), dens, nil)
+	pots, _, err := e.evaluate(context.Background(), dens, nil) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 	return pots, err
 }
 
@@ -369,7 +369,7 @@ func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, dens [][]float64) ([][
 // EvaluateBatchStats is EvaluateBatch returning the aggregate stage
 // breakdown of the whole batch.
 func (e *Evaluator) EvaluateBatchStats(dens [][]float64) ([][]float64, Stats, error) {
-	return e.evaluate(context.Background(), dens, nil)
+	return e.evaluate(context.Background(), dens, nil) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 }
 
 // EvaluateBatchStatsCtx is EvaluateBatchCtx returning the aggregate
@@ -629,7 +629,7 @@ func (r *runState) upwardPass(ctx context.Context, sp *obs.Span) error {
 				return
 			}
 			sc := &r.ws[w]
-			start := time.Now()
+			start := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 			check := sc.checkBuf(r.nrhs * nc)
 			for i := range check {
 				check[i] = 0
@@ -725,7 +725,7 @@ func (r *runState) downwardPass(ctx context.Context, sp *obs.Span) error {
 			// X list: sources of coarser leaves evaluated directly on the
 			// DC surface (S2L).
 			if len(b.X) > 0 {
-				startX := time.Now()
+				startX := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 				check := r.getCheck(int32(bi))
 				dcPts := r.e.Ops.DownwardCheckPoints(t.BoxCenter(int32(bi)), radius, sc.ptsBuf(3*r.e.Ops.Surf.N))
 				for _, a := range b.X {
@@ -736,7 +736,7 @@ func (r *runState) downwardPass(ctx context.Context, sp *obs.Span) error {
 				sc.stats.DownX += time.Since(startX)
 			}
 			// L2L from the parent's downward density.
-			startE := time.Now()
+			startE := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 			if p := b.Parent; p != tree.Nil && r.phiD[p] != nil {
 				check := r.getCheck(int32(bi))
 				op := l2l[b.Key.Octant()]
@@ -774,7 +774,7 @@ func (r *runState) applyM2LDense(ctx context.Context, l int) error {
 			return
 		}
 		sc := &r.ws[w]
-		start := time.Now()
+		start := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 		check := r.getCheck(int32(bi))
 		bx, by, bz := b.Key.Decode()
 		for _, a := range b.V {
@@ -870,7 +870,7 @@ func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 		// chunk (grid buffers are reused across chunks).
 		err := r.pool.ForRange(ctx, 0, len(used), func(w, i int) {
 			sc := &r.ws[w]
-			start := time.Now()
+			start := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 			if grids[i] == nil {
 				grids[i] = make([]complex128, chunk*sd*gl)
 			}
@@ -887,7 +887,7 @@ func (r *runState) applyM2LFFT(ctx context.Context, l int) error {
 				return
 			}
 			sc := &r.ws[w]
-			start := time.Now()
+			start := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 			acc := sc.accBuf(nq * td * gl)
 			bx, by, bz := b.Key.Decode()
 			any := false
@@ -937,7 +937,7 @@ func (r *runState) leafEvaluation(ctx context.Context) error {
 			return r.ppots[q][b.TrgStart*td : (b.TrgStart+b.TrgCount)*td]
 		}
 		// U list: direct interactions with adjacent leaves (and itself).
-		startU := time.Now()
+		startU := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 		for _, u := range b.U {
 			ub := &t.Boxes[u]
 			if ub.SrcCount == 0 {
@@ -948,7 +948,7 @@ func (r *runState) leafEvaluation(ctx context.Context) error {
 		sc.stats.DownU += time.Since(startU)
 		// W list: far small boxes evaluated from their upward equivalent
 		// densities (M2T).
-		startW := time.Now()
+		startW := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 		for _, wi := range b.W {
 			if r.phiU[wi] == nil {
 				continue
@@ -959,7 +959,7 @@ func (r *runState) leafEvaluation(ctx context.Context) error {
 		}
 		sc.stats.DownW += time.Since(startW)
 		// L2T: evaluate the downward equivalent density at the targets.
-		startE := time.Now()
+		startE := time.Now() //lint:allow determinism per-stage timing feeds Stats and trace spans, not numerics
 		if r.phiD[bi] != nil {
 			surfPts := r.e.Ops.DownwardEquivPoints(t.BoxCenter(int32(bi)), t.BoxHalfWidth(b.Level()), sc.ptsBuf(nsurf))
 			r.addP2P(sc, trg, surfPts, sliceAt(r.phiD[bi], ne), pot, &sc.stats.FlopsEval)

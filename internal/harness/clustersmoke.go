@@ -68,15 +68,17 @@ const smokeTol = 1e-12
 
 // RunClusterSmoke boots the loopback cluster, runs one evaluation
 // round-trip over real TCP, verifies it against the single-node engine
-// and tears everything down. A relative error above 1e-12 is an error,
-// so CI fails loudly on a conformance break.
-func RunClusterSmoke(cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
+// and tears everything down. ctx bounds the whole run — node startup,
+// the distributed evaluation and the single-node reference. A relative
+// error above 1e-12 is an error, so CI fails loudly on a conformance
+// break.
+func RunClusterSmoke(ctx context.Context, cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pts := geom.Flatten(geom.SphereGrid(rng, cfg.N, 2, 0.3))
 	den := geom.RandomDensities(rng, cfg.N, 1)
 
-	coord, err := cluster.StartCoordinator("127.0.0.1:0", cluster.CoordinatorConfig{
+	coord, err := cluster.StartCoordinator(ctx, "127.0.0.1:0", cluster.CoordinatorConfig{
 		Heartbeat: 500 * time.Millisecond,
 	})
 	if err != nil {
@@ -90,7 +92,7 @@ func RunClusterSmoke(cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
 		}
 	}()
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := cluster.StartWorker(cluster.WorkerConfig{
+		w, err := cluster.StartWorker(ctx, cluster.WorkerConfig{
 			Coordinator: coord.Addr(), Lanes: cfg.LanesPerWorker,
 		})
 		if err != nil {
@@ -100,7 +102,7 @@ func RunClusterSmoke(cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
 	}
 
 	start := time.Now()
-	pot, evalRep, err := coord.Evaluate(context.Background(), cluster.EvalRequest{
+	pot, evalRep, err := coord.Evaluate(ctx, cluster.EvalRequest{
 		Src: pts, Den: den, Kernel: kernels.Spec{Name: "laplace"},
 		Degree: 4, MaxPoints: 60,
 	})
@@ -117,7 +119,7 @@ func RunClusterSmoke(cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
 		return nil, fmt.Errorf("cluster smoke: reference build: %w", err)
 	}
 	defer ev.Close()
-	ref, err := ev.Evaluate(den)
+	ref, err := ev.EvaluateCtx(ctx, den)
 	if err != nil {
 		return nil, fmt.Errorf("cluster smoke: reference evaluate: %w", err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 // TestRunClusterSmoke boots the real-TCP loopback cluster at a reduced
 // size and checks the report carries the fields the CI artifact needs.
 func TestRunClusterSmoke(t *testing.T) {
-	rep, err := RunClusterSmoke(ClusterSmokeConfig{N: 3000})
+	rep, err := RunClusterSmoke(context.Background(), ClusterSmokeConfig{N: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}

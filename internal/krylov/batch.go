@@ -21,7 +21,7 @@ type BatchMatVecCtx func(ctx context.Context, xs [][]float64) ([][]float64, erro
 // GMRESBatch is GMRESBatchCtx with context.Background() and a
 // ctx-oblivious operator.
 func GMRESBatch(apply BatchMatVec, bs, xs [][]float64, opt Options) ([]Result, error) {
-	return GMRESBatchCtx(context.Background(),
+	return GMRESBatchCtx(context.Background(), //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 		func(_ context.Context, vs [][]float64) ([][]float64, error) { return apply(vs) },
 		bs, xs, opt)
 }

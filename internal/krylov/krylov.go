@@ -90,7 +90,7 @@ func dot(a, b []float64) float64 {
 // GMRES solves A x = b by restarted GMRES(m); it is GMRESCtx with
 // context.Background() and a ctx-oblivious operator.
 func GMRES(apply MatVec, b, x []float64, opt Options) (Result, error) {
-	return GMRESCtx(context.Background(), liftMatVec(apply), b, x, opt)
+	return GMRESCtx(context.Background(), liftMatVec(apply), b, x, opt) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 }
 
 // GMRESCtx solves A x = b by restarted GMRES(m) with modified
@@ -243,7 +243,7 @@ func GMRESCtx(ctx context.Context, apply MatVecCtx, b, x []float64, opt Options)
 // method; it is BiCGSTABCtx with context.Background() and a
 // ctx-oblivious operator.
 func BiCGSTAB(apply MatVec, b, x []float64, opt Options) (Result, error) {
-	return BiCGSTABCtx(context.Background(), liftMatVec(apply), b, x, opt)
+	return BiCGSTABCtx(context.Background(), liftMatVec(apply), b, x, opt) //lint:allow ctxfirst documented legacy ctx-free wrapper over the Ctx API
 }
 
 // BiCGSTABCtx solves A x = b by BiCGSTAB under a context; x is the

@@ -1,0 +1,78 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored as an interface so the
+// kifmm-lint analyzers are written exactly as upstream analyzers are.
+//
+// The build environment this repository grows in has no module proxy
+// access and an empty module cache, so golang.org/x/tools cannot be a
+// real dependency yet. Rather than inventing a bespoke lint API, this
+// package mirrors the upstream names and shapes (Analyzer, Pass,
+// Diagnostic, Pass.Reportf) for the subset the analyzers use; when the
+// dependency becomes vendorable, switching is a one-line import change
+// per analyzer plus deleting this package. Facts, Requires and
+// ResultOf are intentionally absent — the kifmm analyzers are all
+// single-pass and dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name (used in
+// findings and in //lint:allow suppression comments), documentation,
+// and a Run function invoked once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer. It must be a valid Go identifier;
+	// it appears in finding output and suppression comments.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary of the
+	// invariant it enforces, optionally followed by detail paragraphs.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report / pass.Reportf. The result value is unused in this
+	// subset (upstream threads it to dependent analyzers) but kept in
+	// the signature for drop-in compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions to file locations for all Files.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees, with comments.
+	Files []*ast.File
+
+	// Pkg is the package's type information.
+	Pkg *types.Package
+
+	// TypesInfo holds type facts (Uses, Defs, Types, Selections) for
+	// the package's syntax.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver (multichecker or
+	// analysistest) installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. Category is
+// an optional sub-classification within an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string
+	Message  string
+}

@@ -1,0 +1,251 @@
+// Package analysistest runs lint analyzers over fixture packages under
+// a testdata tree and checks the reported diagnostics against
+// // want `regex` comments — a same-shaped stand-in for
+// golang.org/x/tools/go/analysis/analysistest that works with the
+// offline analysis shim (see internal/lint/analysis).
+//
+// Fixture layout mirrors x/tools: testdata/src/<import path>/*.go.
+// Imports in fixture files resolve to other fixture packages when a
+// matching directory exists under testdata/src (type-checked from
+// source, recursively), and to the enclosing module's build cache
+// otherwise (stdlib and real module packages, via gc export data).
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run loads the fixture package at testdata/src/<pkgPath>, applies the
+// analyzer, and reports any mismatch between its diagnostics and the
+// fixture's // want `regex` comments as test errors: a diagnostic with
+// no matching want fails, and so does a want with no matching
+// diagnostic. A fixture with no want comments asserts the analyzer is
+// silent on it.
+func Run(t testing.TB, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg := Load(t, testdata, pkgPath)
+
+	type diag struct {
+		pos token.Position
+		msg string
+	}
+	var got []diag
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+	}
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range got {
+		if !claimWant(wants, d.pos, d.msg) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.pos, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching want %s", w.file, w.line, w.src)
+		}
+	}
+}
+
+// Load type-checks the fixture package at testdata/src/<pkgPath> and
+// returns it ready for direct analysis or lint.Run.
+func Load(t testing.TB, testdata, pkgPath string) *load.Package {
+	t.Helper()
+	pkg, err := loadFixture(testdata, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// A want is one parsed // want `regex` expectation, anchored to the
+// line its comment starts on.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	src     string
+	matched bool
+}
+
+// wantLitRE extracts the Go string literals (back- or double-quoted)
+// that follow the want marker.
+var wantLitRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(pkg *load.Package) ([]*want, error) {
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " "), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := wantLitRE.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment: no string literal in %q", pos, c.Text)
+				}
+				for _, lit := range lits {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: want pattern %s: %v", pos, lit, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, src: lit})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claimWant marks the first unmatched want on the diagnostic's line
+// whose pattern matches the message, reporting whether one was found.
+func claimWant(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func loadFixture(testdata, pkgPath string) (*load.Package, error) {
+	src := filepath.Join(testdata, "src")
+	ext, err := externalImports(src)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := load.ExportData(testdata, ext...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		fset:     fset,
+		src:      src,
+		cache:    make(map[string]*load.Package),
+		fallback: load.ExportImporter(fset, exports),
+	}
+	return im.load(pkgPath)
+}
+
+// externalImports walks every fixture file and collects the imports
+// that do not resolve to fixture directories — those must come from the
+// enclosing module's build cache via export data.
+func externalImports(src string) ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(src, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue // fixture-local package, type-checked from source
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// fixtureImporter resolves imports to fixture packages under
+// testdata/src when a matching directory exists (from source,
+// recursively, cached) and to gc export data otherwise.
+type fixtureImporter struct {
+	fset     *token.FileSet
+	src      string
+	cache    map[string]*load.Package
+	fallback types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(im.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return im.fallback.Import(path)
+	}
+	pkg, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (im *fixtureImporter) load(path string) (*load.Package, error) {
+	if pkg, ok := im.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: fixture package %s: %v", path, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysistest: fixture package %s: no Go files in %s", path, dir)
+	}
+	pkg, err := load.Check(im.fset, im, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = pkg
+	return pkg, nil
+}

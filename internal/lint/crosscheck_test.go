@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// TestMetricNameRE pins the name grammar with a truth table, so a
+// regexp edit that loosens or tightens it shows up here first.
+func TestMetricNameRE(t *testing.T) {
+	cases := map[string]bool{
+		"kifmm_requests_total":        true,
+		"kifmm_eval_seconds":          true,
+		"kifmm_m2l_cache_hits_total":  true,
+		"kifmm":                       false,
+		"kifmm_":                      false,
+		"kifmm__double":               false,
+		"kifmm_Upper":                 false,
+		"requests_total":              false,
+		"kifmm_trailing_":             false,
+		"prefix_kifmm_requests_total": false,
+	}
+	for name, want := range cases {
+		if got := lint.MetricNameRE.MatchString(name); got != want {
+			t.Errorf("MetricNameRE.MatchString(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestLiveServiceMetricNames type-checks the real internal/service
+// package — the only place obs metric families are registered — and
+// asserts the metricnames analyzer finds nothing: every live family
+// name is a constant snake_case kifmm_* literal with help text. This is
+// the compile-time twin of the service README-catalog test.
+func TestLiveServiceMetricNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells go list over the real module; skipped in -short")
+	}
+	pkgs, err := load.Load("../..", "./internal/service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{lint.MetricNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("live metric registration breaks the naming invariant: %s", f)
+	}
+}

@@ -1,0 +1,63 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/load"
+)
+
+// Each fixture package pairs positive cases (// want comments) with
+// negative ones (clean code the analyzer must stay silent on); the
+// runner fails on unexpected diagnostics in both directions.
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Determinism, "repro/internal/fmm")
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxFirst, "repro/internal/engine")
+}
+
+// TestCtxFirstSkipsCmd: main packages under cmd/ are exempt — the
+// fixture uses context.Background and launches goroutines, and the
+// analyzer must report nothing.
+func TestCtxFirstSkipsCmd(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxFirst, "repro/cmd/enginetool")
+}
+
+func TestErrTaxonomyFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ErrTaxonomy, "repro/internal/service")
+}
+
+func TestNoJSONHotComputeFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoJSONHot, "repro/internal/fft")
+}
+
+func TestNoJSONHotClusterFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoJSONHot, "repro/internal/cluster")
+}
+
+func TestMetricNamesFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MetricNames, "repro/internal/metricsdemo")
+}
+
+// TestScopedAnalyzersSilentElsewhere: the package-scoped analyzers
+// must not fire outside their package lists — repro/internal/engine is
+// neither a deterministic, boundary, nor hot-path package, so only
+// ctxfirst has findings there.
+func TestScopedAnalyzersSilentElsewhere(t *testing.T) {
+	engine := analysistest.Load(t, "testdata", "repro/internal/engine")
+	findings, err := lint.Run(
+		[]*load.Package{engine},
+		[]*analysis.Analyzer{lint.Determinism, lint.ErrTaxonomy, lint.NoJSONHot, lint.MetricNames},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("scoped analyzer fired out of scope: %s", f)
+	}
+}

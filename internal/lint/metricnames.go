@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// MetricNameRE is the shape every registered metric family name must
+// have: kifmm_-prefixed snake_case, lowercase alphanumerics only, no
+// leading/trailing/double underscores. It statically mirrors the
+// runtime rule (obs rejects malformed names when registering, and the
+// service README-catalog test cross-checks names against the docs);
+// the analyzer moves the failure from test time to lint time.
+var MetricNameRE = regexp.MustCompile(`^kifmm(_[a-z0-9]+)+$`)
+
+// registryMethods are the obs.Registry registration entry points and
+// the index of their help-text argument (name is always argument 0).
+var registryMethods = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"CounterFunc":  true,
+	"Gauge":        true,
+	"GaugeVec":     true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+// MetricNames checks every obs.Registry registration call site: the
+// family name must be a compile-time string constant matching
+// MetricNameRE, and the help text a non-empty compile-time string.
+// Constant names keep the README catalog greppable and make collisions
+// and typos visible in review rather than at process start.
+var MetricNames = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "obs metric registrations must use constant snake_case kifmm_* names with non-empty help text",
+	Run:  runMetricNames,
+}
+
+func runMetricNames(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegistryRegistration(pass.TypesInfo, call) || len(call.Args) < 2 {
+				return true
+			}
+			name, ok := constString(pass.TypesInfo, call.Args[0])
+			switch {
+			case !ok:
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant so the catalog stays greppable")
+			case !MetricNameRE.MatchString(name):
+				pass.Reportf(call.Args[0].Pos(), "metric name %q: must be snake_case matching %s", name, MetricNameRE)
+			}
+			help, ok := constString(pass.TypesInfo, call.Args[1])
+			switch {
+			case !ok:
+				pass.Reportf(call.Args[1].Pos(), "metric help text must be a compile-time string constant")
+			case help == "":
+				pass.Reportf(call.Args[1].Pos(), "metric help text must be non-empty: it renders as the # HELP line and the README catalog entry")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRegistryRegistration reports whether the call is one of the
+// registration methods on obs.Registry (matched by receiver type name
+// and package path suffix, so analysistest fixtures with a fake obs
+// package type-match too).
+func isRegistryRegistration(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !registryMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && pathMatches(obj.Pkg().Path(), "internal/obs")
+}
+
+// constString evaluates an expression to a compile-time string
+// constant (literal, const reference, or concatenation of those).
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,31 @@
+// Package cluster is the nojsonhot fixture for the scoped wire rule:
+// JSON is legal on the control plane (headers, handshakes) but banned
+// in any function whose signature traffics in raw float64 arrays — the
+// bulk coordinate/density/potential path.
+package cluster
+
+import "encoding/json"
+
+// jobHeader is a control-plane payload; a slice field inside a named
+// struct does not make its codec part of the bulk path.
+type jobHeader struct {
+	ID    string `json:"id"`
+	Spans []int  `json:"spans"`
+}
+
+// encodeHeader is control-plane JSON: no bulk arrays in the signature,
+// so it is not flagged.
+func encodeHeader(h jobHeader) ([]byte, error) {
+	return json.Marshal(h)
+}
+
+// ScatterFrame moves densities — bulk data — through JSON.
+func ScatterFrame(den []float64) ([]byte, error) {
+	return json.Marshal(den) // want `encoding/json on the bulk-frame path \(ScatterFrame handles raw float64 arrays\)`
+}
+
+// gatherInto is unexported but still on the bulk path: the rule follows
+// the data, not the export set.
+func gatherInto(dst *[]float64, raw []byte) error {
+	return json.Unmarshal(raw, dst) // want `encoding/json on the bulk-frame path \(gatherInto handles raw float64 arrays\)`
+}

@@ -1,0 +1,30 @@
+// Package errs is a minimal fixture stand-in for the real error
+// taxonomy, so boundary fixtures type-check from source under
+// testdata/src without importing the module's package. It exists to
+// exercise the analysistest loader's recursive source resolution of
+// fixture-local dependencies.
+package errs
+
+import "fmt"
+
+// Code classifies an error for HTTP mapping and wire round-trips.
+type Code string
+
+// CodeInvalidInput marks caller mistakes (maps to 400).
+const CodeInvalidInput Code = "invalid_input"
+
+// Error is a coded error.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// New builds a coded error from a fixed message.
+func New(code Code, msg string) error { return &Error{Code: code, Msg: msg} }
+
+// Newf builds a coded error from a format string.
+func Newf(code Code, format string, args ...interface{}) error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,30 @@
+// Package fft is the nojsonhot fixture for the full-ban compute
+// packages: any encoding/json import is flagged, and so is per-element
+// fmt.Sprintf inside loops.
+package fft
+
+import (
+	"encoding/json" // want `encoding/json import in hot-path package fft`
+	"fmt"
+)
+
+// Describe formats per spectrum line: the Sprintf allocates once per
+// element.
+func Describe(spectrum []complex128) string {
+	var out string
+	for i, v := range spectrum {
+		out += fmt.Sprintf("%d:%v;", i, v) // want `fmt.Sprintf inside a loop in hot-path package fft`
+	}
+	return out
+}
+
+// Marshal justifies the flagged import; the call site itself is not
+// re-reported.
+func Marshal(plan interface{}) ([]byte, error) {
+	return json.Marshal(plan)
+}
+
+// Label formats once, outside any loop: not flagged.
+func Label(n int) string {
+	return fmt.Sprintf("fft-%d", n)
+}

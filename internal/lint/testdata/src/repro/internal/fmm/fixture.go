@@ -1,0 +1,65 @@
+// Package fmm is the determinism-analyzer fixture: its import path
+// ends in internal/fmm, so the bitwise-reproducibility rules apply to
+// it exactly as they do to the real engine package.
+package fmm
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package fmm`
+	"sort"
+	"time"
+)
+
+// SumPotentials accumulates a float while ranging over a map:
+// iteration order is randomized, so the sum's bits vary run to run.
+func SumPotentials(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation inside a map-range loop`
+	}
+	return s
+}
+
+// Keys collects map keys in iteration order, producing a randomly
+// ordered slice.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append inside a map-range loop`
+	}
+	return ks
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package fmm`
+}
+
+// Jitter uses the flagged math/rand import; only the import line is
+// reported, not each call.
+func Jitter() float64 { return rand.Float64() }
+
+// SumSorted is the compliant accumulation pattern: the key-collecting
+// append is still flagged (real code annotates or pre-sizes it), but
+// the sorted slice range below must not be.
+func SumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map-range loop`
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// CountEntries accumulates an int inside a map range: integer addition
+// is exact and order-independent, so it is not flagged.
+func CountEntries(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

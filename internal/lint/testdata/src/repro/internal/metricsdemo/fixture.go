@@ -1,0 +1,19 @@
+// Package metricsdemo is the metricnames fixture: every obs.Registry
+// registration, wherever it lives, must use a compile-time snake_case
+// kifmm_* name and non-empty help text.
+package metricsdemo
+
+import "repro/internal/obs"
+
+const helpRequests = "Total service requests."
+
+// Register exercises each rule once against the fixture registry.
+func Register(r *obs.Registry, suffix string) {
+	r.Counter("kifmm_requests_total", helpRequests)
+	r.CounterVec("kifmm_evals_total", "Evaluations by kernel.", "kernel")
+	r.Counter("requests_total", "Total requests.")  // want `metric name "requests_total": must be snake_case`
+	r.Gauge("kifmm_Queue_Depth", "Queue depth now") // want `metric name "kifmm_Queue_Depth": must be snake_case`
+	r.Counter("kifmm_"+suffix, "Dynamic name.")     // want `metric name must be a compile-time string constant`
+	r.Histogram("kifmm_eval_seconds", "")           // want `metric help text must be non-empty`
+	r.GaugeFunc("kifmm_queue_depth", "Queue depth sampled on scrape.", func() float64 { return 0 })
+}

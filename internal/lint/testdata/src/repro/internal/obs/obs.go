@@ -1,0 +1,18 @@
+// Package obs is a minimal fixture stand-in for the real metrics
+// registry. The metricnames analyzer matches registrations by method
+// name plus the Registry type's import-path suffix, so calls against
+// this fake exercise exactly the matching path used on the real
+// package.
+package obs
+
+// Registry registers metric families.
+type Registry struct{}
+
+// Observe is a placeholder handle for a registered family.
+type Observe func(float64)
+
+func (r *Registry) Counter(name, help string) Observe                       { return nil }
+func (r *Registry) CounterVec(name, help string, labels ...string) Observe  { return nil }
+func (r *Registry) Gauge(name, help string) Observe                         { return nil }
+func (r *Registry) GaugeFunc(name, help string, f func() float64)           {}
+func (r *Registry) Histogram(name, help string, buckets ...float64) Observe { return nil }

@@ -1,0 +1,47 @@
+// Package parfmm is the //lint:allow fixture: it pairs annotated and
+// unannotated findings with stale, malformed and unknown-analyzer
+// annotations so the suppression tests can assert each behavior of
+// lint.Run. The import path ends in internal/parfmm, so the
+// determinism rules apply.
+package parfmm
+
+import "time"
+
+// StampAllowed is suppressed by a same-line annotation.
+func StampAllowed() int64 {
+	return time.Now().UnixNano() //lint:allow determinism fixture exercises same-line suppression
+}
+
+// StampBlockAllowed is suppressed by an annotation in the comment block
+// directly above the finding.
+func StampBlockAllowed() int64 {
+	//lint:allow determinism fixture exercises block-form suppression
+	return time.Now().UnixNano()
+}
+
+// StampBare has no annotation, so its finding must be reported.
+func StampBare() int64 {
+	return time.Now().UnixNano() // marker: reported finding
+}
+
+// SumSlice carries an annotation that suppresses nothing: slice ranges
+// are deterministic, so the allow is stale and must be flagged.
+func SumSlice(xs []float64) float64 {
+	var s float64
+	//lint:allow determinism marker: stale annotation
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Malformed sits under an annotation with no analyzer or reason.
+//
+//lint:allow
+func Malformed() {}
+
+// Unknown sits under an annotation naming an analyzer that does not
+// exist.
+//
+//lint:allow nosuchanalyzer marker: unknown analyzer
+func Unknown() {}

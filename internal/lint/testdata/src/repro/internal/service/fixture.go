@@ -1,0 +1,38 @@
+// Package service is the errtaxonomy fixture: its import path ends in
+// internal/service, so every error escaping an exported function must
+// carry an errs code.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/errs"
+)
+
+// Exported returns naked stdlib errors straight from an exported
+// function: both escape the API boundary untyped.
+func Exported(n int) error {
+	if n < 0 {
+		return fmt.Errorf("service: negative n %d", n) // want `untyped fmt.Errorf escapes exported Exported`
+	}
+	if n == 0 {
+		return errors.New("service: zero n") // want `untyped errors.New escapes exported Exported`
+	}
+	return nil
+}
+
+// Typed is the compliant shape: the escaping error carries a taxonomy
+// code, so the service maps it to the right status.
+func Typed(n int) error {
+	if n < 0 {
+		return errs.Newf(errs.CodeInvalidInput, "service: negative n %d", n)
+	}
+	return nil
+}
+
+// unexported helpers may build raw errors; their exported callers are
+// responsible for wrapping before the error escapes.
+func unexported() error {
+	return fmt.Errorf("service: internal detail")
+}

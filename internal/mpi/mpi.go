@@ -187,7 +187,7 @@ func (c *Comm) tick() {
 // Run executes fn on size ranks and returns the per-rank Comms after all
 // ranks finish (for inspecting clocks and counters). It panics if any
 // rank panics.
-func Run(size int, machine Machine, fn func(*Comm)) []*Comm {
+func Run(size int, machine Machine, fn func(*Comm)) []*Comm { //lint:allow ctxfirst simulated ranks run to completion by design; the wire transport (internal/cluster) owns cancellation
 	if size < 1 {
 		panic("mpi: size must be >= 1")
 	}

@@ -10,9 +10,8 @@
 package service
 
 import (
-	"fmt"
-
 	kifmm "repro"
+	"repro/internal/errs"
 	"repro/internal/fmm"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -66,7 +65,7 @@ func (r *PlanRequest) options() (kifmm.Options, error) {
 	case "dense":
 		backend = kifmm.M2LDense
 	default:
-		return kifmm.Options{}, fmt.Errorf("service: unknown M2L backend %q (want \"fft\" or \"dense\")", r.Backend)
+		return kifmm.Options{}, errs.Newf(errs.CodeInvalidInput, "service: unknown M2L backend %q (want \"fft\" or \"dense\")", r.Backend)
 	}
 	return kifmm.Options{
 		Kernel: k, Degree: r.Degree, MaxPoints: r.MaxPoints,

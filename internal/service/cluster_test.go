@@ -18,13 +18,13 @@ import (
 // Service that routes one-shot requests of >= minPoints sources to it.
 func clusterService(t *testing.T, minPoints int) (*Service, *cluster.Coordinator) {
 	t.Helper()
-	coord, err := cluster.StartCoordinator("127.0.0.1:0", cluster.CoordinatorConfig{Heartbeat: 500 * time.Millisecond})
+	coord, err := cluster.StartCoordinator(context.Background(), "127.0.0.1:0", cluster.CoordinatorConfig{Heartbeat: 500 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { coord.Close() })
 	for i := 0; i < 2; i++ {
-		w, err := cluster.StartWorker(cluster.WorkerConfig{Coordinator: coord.Addr(), Lanes: 1})
+		w, err := cluster.StartWorker(context.Background(), cluster.WorkerConfig{Coordinator: coord.Addr(), Lanes: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func TestOneShotRoutesToCluster(t *testing.T) {
 // cluster-sized requests with a typed worker_lost (HTTP 503) while the
 // service keeps serving single-node work.
 func TestClusterDegradedMode(t *testing.T) {
-	coord, err := cluster.StartCoordinator("127.0.0.1:0", cluster.CoordinatorConfig{Heartbeat: 500 * time.Millisecond})
+	coord, err := cluster.StartCoordinator(context.Background(), "127.0.0.1:0", cluster.CoordinatorConfig{Heartbeat: 500 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

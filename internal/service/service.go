@@ -262,7 +262,7 @@ func (s *Service) register(ctx context.Context, req PlanRequest) (*plan, bool, e
 	// racing its cleanup): start a fresh one. Replacing the map entry is
 	// safe — the orphaned build's cleanup only deletes its own entry.
 	s.m.cacheMisses.Inc()
-	bctx, cancel := context.WithCancel(context.Background())
+	bctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxfirst detached singleflight build deliberately outlives the initiating request
 	c := &buildCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	s.building[key] = c
 	s.mu.Unlock()

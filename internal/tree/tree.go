@@ -94,7 +94,7 @@ type keyed struct {
 // coordinate slices) and computes all four interaction lists. It is
 // BuildCtx with context.Background().
 func Build(src, trg []float64, cfg Config) (*Tree, error) {
-	return BuildCtx(context.Background(), src, trg, cfg)
+	return BuildCtx(context.Background(), src, trg, cfg) //lint:allow ctxfirst documented legacy ctx-free wrapper over BuildCtx
 }
 
 // BuildCtx is the context-aware tree construction: ctx is checked
@@ -312,7 +312,7 @@ func Assemble(center [3]float64, halfWidth float64, boxes []Box, levelStart []in
 	for i := range boxes {
 		t.index[boxes[i].Key] = int32(i)
 	}
-	t.buildLists(context.Background())
+	t.buildLists(context.Background()) //lint:allow ctxfirst parallel ranks carry no ctx; Assemble is in-memory list construction
 	return t
 }
 

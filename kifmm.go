@@ -159,7 +159,7 @@ type Evaluator struct {
 // (x0,y0,z0,x1,...) coordinate slices which may be the same slice. It
 // is NewEvaluatorCtx with context.Background().
 func NewEvaluator(src, trg []float64, opt Options) (*Evaluator, error) {
-	return NewEvaluatorCtx(context.Background(), src, trg, opt)
+	return NewEvaluatorCtx(context.Background(), src, trg, opt) //lint:allow ctxfirst documented legacy ctx-free wrapper over NewEvaluatorCtx
 }
 
 // NewEvaluatorCtx is the context-aware plan build. Construction is the
