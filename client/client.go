@@ -25,16 +25,35 @@
 //
 // hold identically whether the failure happened locally, in transit or
 // on the server.
+//
+// Bulk arrays can cross the wire in the server's binary frame encoding
+// (application/x-kifmm-frame) instead of JSON. Responses negotiate
+// transparently: every evaluation request advertises the frame
+// encoding in Accept, new servers answer with raw little-endian
+// float64 words (bit-exact, including NaN payloads and infinities) and
+// old servers keep answering JSON — callers never see the difference.
+// Request bodies switch to frames with WithBinary. Geometries too
+// large for one request stream through the chunked upload endpoints
+// via UploadArray / RegisterPlanChunked.
+//
+// With WithRetry configured, evaluation POSTs carry a random
+// Idempotency-Key header the server deduplicates, so a retried request
+// whose first attempt actually ran replays the stored response instead
+// of computing (and possibly double-counting) a second sweep.
 package client
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	kifmm "repro"
 	"repro/internal/errs"
@@ -60,6 +79,8 @@ type (
 	TraceSpan = service.TraceSpan
 	// RecentEvalsResponse mirrors GET /v1/evals/recent.
 	RecentEvalsResponse = service.RecentEvalsResponse
+	// UploadStatus reports a chunked upload's committed prefix.
+	UploadStatus = service.UploadStatus
 )
 
 // APIError is a non-2xx server response: the status, the server's
@@ -125,9 +146,12 @@ func (e *APIError) Unwrap() error {
 // Client talks to one kifmm-serve instance. It is safe for concurrent
 // use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry *RetryPolicy
+	base         string
+	hc           *http.Client
+	retry        *RetryPolicy
+	binary       bool
+	chunkWords   int
+	chunkTimeout time.Duration
 }
 
 // Option customizes a Client.
@@ -137,6 +161,30 @@ type Option func(*Client)
 // transport limits, test doubles).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithBinary makes plan registrations and evaluations send their
+// request bodies in the binary frame encoding instead of JSON: no
+// float-to-decimal round trip on bulk arrays, every bit pattern
+// preserved. Requires a server new enough to understand
+// application/x-kifmm-frame (older ones answer 400). Responses
+// negotiate independently of this option and need no opt-in.
+func WithBinary() Option {
+	return func(c *Client) { c.binary = true }
+}
+
+// WithChunkWords sets how many float64 words UploadArray ships per
+// chunk (default 1<<20 words, 8 MiB).
+func WithChunkWords(n int) Option {
+	return func(c *Client) { c.chunkWords = n }
+}
+
+// WithChunkTimeout bounds each individual upload chunk request; a
+// chunk that times out is retried from the server-reported committed
+// offset rather than failing the whole transfer (default: bounded only
+// by the caller's context).
+func WithChunkTimeout(d time.Duration) Option {
+	return func(c *Client) { c.chunkTimeout = d }
 }
 
 // New returns a client for the server at base (e.g.
@@ -157,17 +205,46 @@ func trimSlash(s string) string {
 }
 
 // RegisterPlan registers (or resolves, if cached server-side) a plan.
+// Registrations are content-addressed and therefore naturally
+// idempotent, so under a retry policy they retry without needing an
+// idempotency key.
 func (c *Client) RegisterPlan(ctx context.Context, req PlanRequest) (PlanInfo, error) {
 	var info PlanInfo
-	err := c.post(ctx, "/v1/plans", req, &info)
+	body, ct, err := c.planBody(req)
+	if err != nil {
+		return info, err
+	}
+	attempt := func(ctx context.Context) error {
+		return c.postRaw(ctx, "/v1/plans", body, ct, &info)
+	}
+	if c.retry != nil {
+		err = c.withRetry(ctx, attempt)
+	} else {
+		err = attempt(ctx)
+	}
 	return info, err
+}
+
+// planBody assembles a plan-registration body in the configured
+// request encoding: plain JSON, or a frame carrying the non-bulk
+// fields as a JSON header and the coordinates as raw words.
+func (c *Client) planBody(req PlanRequest) ([]byte, string, error) {
+	if !c.binary {
+		return c.encodeJSON(req)
+	}
+	src, trg := req.Src, req.Trg
+	req.Src, req.Trg = nil, nil
+	hdr, _, err := c.encodeJSON(req)
+	if err != nil {
+		return nil, "", err
+	}
+	return encodePlanFrame(hdr, src, trg), frameContentType, nil
 }
 
 // Evaluate computes potentials for den against a registered plan.
 func (c *Client) Evaluate(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, error) {
-	var resp service.EvaluateResponse
-	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate"
-	if err := c.post(ctx, path, service.EvaluateRequest{Densities: den}, &resp); err != nil {
+	resp, err := c.evaluate(ctx, "/v1/plans/"+url.PathEscape(planID)+"/evaluate", den)
+	if err != nil {
 		return nil, EvalStats{}, err
 	}
 	return resp.Potentials, resp.Stats, nil
@@ -179,9 +256,8 @@ func (c *Client) Evaluate(ctx context.Context, planID string, den []float64) ([]
 // is the fast path for multi-RHS workloads (e.g. lockstep Krylov
 // solves).
 func (c *Client) EvaluateBatch(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, error) {
-	var resp service.EvaluateBatchResponse
-	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate_batch"
-	if err := c.post(ctx, path, service.EvaluateBatchRequest{Densities: dens}, &resp); err != nil {
+	resp, err := c.evaluateBatch(ctx, "/v1/plans/"+url.PathEscape(planID)+"/evaluate_batch", dens)
+	if err != nil {
 		return nil, EvalStats{}, err
 	}
 	return resp.Potentials, resp.Stats, nil
@@ -193,9 +269,8 @@ func (c *Client) EvaluateBatch(ctx context.Context, planID string, dens [][]floa
 // attributes. Use it to see where a slow evaluation spent its time
 // without shell access to the server.
 func (c *Client) EvaluateTraced(ctx context.Context, planID string, den []float64) ([]float64, EvalStats, *TraceSpan, error) {
-	var resp service.EvaluateResponse
-	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate?trace=1"
-	if err := c.post(ctx, path, service.EvaluateRequest{Densities: den}, &resp); err != nil {
+	resp, err := c.evaluate(ctx, "/v1/plans/"+url.PathEscape(planID)+"/evaluate?trace=1", den)
+	if err != nil {
 		return nil, EvalStats{}, nil, err
 	}
 	return resp.Potentials, resp.Stats, resp.Trace, nil
@@ -203,9 +278,8 @@ func (c *Client) EvaluateTraced(ctx context.Context, planID string, den []float6
 
 // EvaluateBatchTraced is EvaluateBatch plus the sweep's span tree.
 func (c *Client) EvaluateBatchTraced(ctx context.Context, planID string, dens [][]float64) ([][]float64, EvalStats, *TraceSpan, error) {
-	var resp service.EvaluateBatchResponse
-	path := "/v1/plans/" + url.PathEscape(planID) + "/evaluate_batch?trace=1"
-	if err := c.post(ctx, path, service.EvaluateBatchRequest{Densities: dens}, &resp); err != nil {
+	resp, err := c.evaluateBatch(ctx, "/v1/plans/"+url.PathEscape(planID)+"/evaluate_batch?trace=1", dens)
+	if err != nil {
 		return nil, EvalStats{}, nil, err
 	}
 	return resp.Potentials, resp.Stats, resp.Trace, nil
@@ -215,12 +289,208 @@ func (c *Client) EvaluateBatchTraced(ctx context.Context, planID string, dens []
 // plan stays cached server-side. It returns the plan id for follow-up
 // Evaluate calls.
 func (c *Client) EvaluateOnce(ctx context.Context, req PlanRequest, den []float64) (string, []float64, EvalStats, error) {
+	body, ct, err := c.oneShotBody(service.OneShotRequest{PlanRequest: req, Densities: den})
+	if err != nil {
+		return "", nil, EvalStats{}, err
+	}
 	var resp service.EvaluateResponse
-	oneShot := service.OneShotRequest{PlanRequest: req, Densities: den}
-	if err := c.post(ctx, "/v1/evaluate", oneShot, &resp); err != nil {
+	if err := c.evalPost(ctx, "/v1/evaluate", body, ct, func(r *http.Response) error {
+		return decodeEvalResponse(r, &resp)
+	}); err != nil {
 		return "", nil, EvalStats{}, err
 	}
 	return resp.PlanID, resp.Potentials, resp.Stats, nil
+}
+
+// oneShotBody is planBody for the one-shot endpoint (densities join
+// the bulk arrays).
+func (c *Client) oneShotBody(req service.OneShotRequest) ([]byte, string, error) {
+	if !c.binary {
+		return c.encodeJSON(req)
+	}
+	src, trg, den := req.Src, req.Trg, req.Densities
+	req.Src, req.Trg, req.Densities = nil, nil, nil
+	hdr, _, err := c.encodeJSON(req)
+	if err != nil {
+		return nil, "", err
+	}
+	return encodeOneShotFrame(hdr, src, trg, den), frameContentType, nil
+}
+
+// evaluate runs one evaluation POST and decodes the response in
+// whichever encoding the server chose.
+func (c *Client) evaluate(ctx context.Context, path string, den []float64) (service.EvaluateResponse, error) {
+	var resp service.EvaluateResponse
+	var body []byte
+	ct := frameContentType
+	if c.binary {
+		body = encodeEvalFrame(den)
+	} else {
+		var err error
+		if body, ct, err = c.encodeJSON(service.EvaluateRequest{Densities: den}); err != nil {
+			return resp, err
+		}
+	}
+	err := c.evalPost(ctx, path, body, ct, func(r *http.Response) error {
+		return decodeEvalResponse(r, &resp)
+	})
+	return resp, err
+}
+
+// evaluateBatch is evaluate for the batch endpoint.
+func (c *Client) evaluateBatch(ctx context.Context, path string, dens [][]float64) (service.EvaluateBatchResponse, error) {
+	var resp service.EvaluateBatchResponse
+	var body []byte
+	ct := frameContentType
+	if c.binary {
+		body = encodeEvalBatchFrame(dens)
+	} else {
+		var err error
+		if body, ct, err = c.encodeJSON(service.EvaluateBatchRequest{Densities: dens}); err != nil {
+			return resp, err
+		}
+	}
+	err := c.evalPost(ctx, path, body, ct, func(r *http.Response) error {
+		return decodeEvalBatchResponse(r, &resp)
+	})
+	return resp, err
+}
+
+// evalPost sends one evaluation request, advertising the frame
+// response encoding, retrying under the client's policy with a shared
+// Idempotency-Key so a retry whose predecessor actually ran replays
+// the stored result instead of re-evaluating.
+func (c *Client) evalPost(ctx context.Context, path string, body []byte, contentType string, decode func(*http.Response) error) error {
+	key := ""
+	if c.retry != nil {
+		key = newIdempotencyKey()
+	}
+	attempt := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("Accept", frameContentType+", application/json")
+		req.Header.Set("Traceparent", traceparent(ctx))
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		return c.doDecode(req, decode)
+	}
+	if c.retry == nil {
+		return attempt(ctx)
+	}
+	return c.withRetry(ctx, attempt)
+}
+
+// newIdempotencyKey returns a fresh random key, or "" if the system
+// randomness source fails (the request then proceeds without
+// deduplication rather than failing outright).
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// UploadArray streams data into a server-side chunked upload and
+// returns the upload id to reference as src_upload/trg_upload in a
+// plan registration. Chunks are bounded (WithChunkWords), individually
+// timed out (WithChunkTimeout), and on a retryable failure the
+// transfer resumes from the server-reported committed prefix — a chunk
+// whose response was lost in flight is never double-counted because
+// appends are idempotent on the committed range.
+func (c *Client) UploadArray(ctx context.Context, data []float64) (string, error) {
+	var st UploadStatus
+	if err := c.post(ctx, "/v1/uploads", service.UploadCreateRequest{Words: len(data)}, &st); err != nil {
+		return "", err
+	}
+	chunkW := c.chunkWords
+	if chunkW <= 0 {
+		chunkW = defaultChunkWords
+	}
+	tries := 1
+	if c.retry != nil {
+		tries = c.retry.MaxAttempts
+	}
+	fails := 0
+	for off := 0; off < len(data); {
+		end := off + chunkW
+		if end > len(data) {
+			end = len(data)
+		}
+		next, err := c.uploadChunk(ctx, st.ID, off, data[off:end])
+		if err == nil {
+			fails, off = 0, next
+			continue
+		}
+		fails++
+		if fails >= tries || !retryable(err) || ctx.Err() != nil {
+			return "", err
+		}
+		// The chunk may have landed even though its response did not
+		// (a timeout mid-flight): resume from wherever the server says
+		// the committed prefix ends.
+		cur, gerr := c.GetUpload(ctx, st.ID)
+		if gerr != nil {
+			return "", err
+		}
+		off = cur.ReceivedWords
+	}
+	return st.ID, nil
+}
+
+// defaultChunkWords is UploadArray's chunk size: 1Mi float64 words,
+// 8 MiB on the wire.
+const defaultChunkWords = 1 << 20
+
+// uploadChunk sends one chunk under the per-chunk timeout and returns
+// the server's committed word count.
+func (c *Client) uploadChunk(ctx context.Context, id string, off int, chunk []float64) (int, error) {
+	cctx, cancel := ctx, context.CancelFunc(func() {})
+	if c.chunkTimeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, c.chunkTimeout)
+	}
+	defer cancel()
+	var st UploadStatus
+	body := encodeUploadChunkFrame(uint64(off), chunk)
+	if err := c.postRaw(cctx, "/v1/uploads/"+url.PathEscape(id), body, frameContentType, &st); err != nil {
+		return 0, err
+	}
+	return st.ReceivedWords, nil
+}
+
+// GetUpload reports an in-flight upload's committed prefix (the resume
+// offset after a disconnect).
+func (c *Client) GetUpload(ctx context.Context, id string) (UploadStatus, error) {
+	var st UploadStatus
+	err := c.get(ctx, "/v1/uploads/"+url.PathEscape(id), &st)
+	return st, err
+}
+
+// RegisterPlanChunked is RegisterPlan for geometries too large (or too
+// precious) to ship in one request body: the coordinate arrays stream
+// through the chunked upload endpoints first, and the plan then
+// registers referencing the uploads. The arrays cross as raw binary
+// words regardless of WithBinary.
+func (c *Client) RegisterPlanChunked(ctx context.Context, req PlanRequest) (PlanInfo, error) {
+	if len(req.Src) > 0 {
+		id, err := c.UploadArray(ctx, req.Src)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		req.Src, req.SrcUpload = nil, id
+	}
+	if len(req.Trg) > 0 {
+		id, err := c.UploadArray(ctx, req.Trg)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		req.Trg, req.TrgUpload = nil, id
+	}
+	return c.RegisterPlan(ctx, req)
 }
 
 // Health checks the server's liveness endpoint.
@@ -292,16 +562,30 @@ func traceparent(ctx context.Context) string {
 	return obs.NewTraceContext().Traceparent()
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	raw, err := json.Marshal(body)
+// encodeJSON marshals a JSON request body alongside its content type.
+func (c *Client) encodeJSON(v any) ([]byte, string, error) {
+	raw, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("client: encoding request: %w", err)
+		return nil, "", fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	return raw, "application/json", nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, ct, err := c.encodeJSON(body)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	return c.postRaw(ctx, path, raw, ct, out)
+}
+
+// postRaw sends pre-encoded bytes as one POST.
+func (c *Client) postRaw(ctx context.Context, path string, body []byte, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set("Traceparent", traceparent(ctx))
 	return c.do(req, out)
 }
@@ -323,6 +607,19 @@ func (c *Client) getOnce(ctx context.Context, path string, out any) error {
 }
 
 func (c *Client) do(req *http.Request, out any) error {
+	if out == nil {
+		return c.doDecode(req, nil)
+	}
+	return c.doDecode(req, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// doDecode runs one request, mapping transport failures and non-2xx
+// statuses to typed errors, and hands a successful response to decode.
+// A decode failure is returned as *decodeError — the server already
+// answered, so the retry loop treats the mismatch as final.
+func (c *Client) doDecode(req *http.Request, decode func(*http.Response) error) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// A local cancellation or deadline surfaces as the same typed
@@ -337,6 +634,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Errors are always JSON, whatever encoding was negotiated.
 		var envelope struct {
 			Error string `json:"error"`
 			Code  string `json:"code"`
@@ -351,11 +649,15 @@ func (c *Client) do(req *http.Request, out any) error {
 		}
 		return newAPIError(resp.StatusCode, code, msg)
 	}
-	if out == nil {
+	if decode == nil {
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+	if err := decode(resp); err != nil {
+		var dec *decodeError
+		if errors.As(err, &dec) {
+			return err
+		}
+		return &decodeError{err: err}
 	}
 	return nil
 }

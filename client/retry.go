@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"time"
@@ -10,11 +11,13 @@ import (
 	"repro/internal/errs"
 )
 
-// RetryPolicy configures automatic retries for idempotent GET requests
-// (Health, Metrics, RecentEvals...). POSTs are never retried — an
-// evaluation that timed out may still be burning server CPU, and
-// replaying it doubles the damage; GETs are safe to repeat by
-// construction.
+// RetryPolicy configures automatic retries for idempotent requests:
+// GETs (Health, Metrics, RecentEvals...), plan registrations (safe to
+// repeat — plans are content-addressed) and evaluation POSTs, which
+// the client makes safe by attaching an Idempotency-Key header the
+// server deduplicates: a retried evaluation whose first attempt
+// actually ran replays the stored response instead of burning a second
+// sweep. Without a policy POSTs are never retried.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first
 	// (default 3).
@@ -44,13 +47,13 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// WithRetry makes the client's idempotent GETs retry transient failures
-// — transport errors and 5xx responses (a restarting server, a cluster
-// whose workers momentarily vanished) — with exponential backoff and
-// equal jitter. Non-transient typed errors (4xx: invalid input, plan
-// not found...) pass through on the first attempt unchanged, and the
-// final error of an exhausted retry budget is exactly what a
-// single-shot client would have returned.
+// WithRetry makes the client's idempotent requests retry transient
+// failures — transport errors and 5xx responses (a restarting server,
+// a cluster whose workers momentarily vanished) — with exponential
+// backoff and equal jitter. Non-transient typed errors (4xx: invalid
+// input, plan not found...) pass through on the first attempt
+// unchanged, and the final error of an exhausted retry budget is
+// exactly what a single-shot client would have returned.
 func WithRetry(p RetryPolicy) Option {
 	return func(c *Client) {
 		pol := p.withDefaults()
@@ -58,12 +61,32 @@ func WithRetry(p RetryPolicy) Option {
 	}
 }
 
-// retryableGet reports whether a GET failure is worth repeating:
+// decodeError marks a failure to decode the body of a successful (2xx)
+// response. The server already did the work and answered; the bytes
+// were just not what this client expects — a deterministic mismatch
+// (version skew, a proxy mangling the body), not transient weather, so
+// the retry loop treats it as final instead of burning every attempt
+// on the same bad payload.
+type decodeError struct {
+	err error
+}
+
+func (e *decodeError) Error() string {
+	return fmt.Sprintf("client: decoding response: %v", e.err)
+}
+
+func (e *decodeError) Unwrap() error { return e.err }
+
+// retryable reports whether a failed attempt is worth repeating:
 // anything transport-level (the server may be back next attempt) and
-// any 5xx status. 4xx statuses are the caller's mistake and stay
-// final. Caller-context cancellation is handled by the retry loop, not
-// here.
-func retryableGet(err error) bool {
+// any 5xx status. 4xx statuses are the caller's mistake, and a 2xx
+// whose body failed to decode is deterministic — both stay final.
+// Caller-context cancellation is handled by the retry loop, not here.
+func retryable(err error) bool {
+	var dec *decodeError
+	if errors.As(err, &dec) {
+		return false
+	}
 	var api *APIError
 	if errors.As(err, &api) {
 		return api.StatusCode >= http.StatusInternalServerError
@@ -71,13 +94,16 @@ func retryableGet(err error) bool {
 	return true
 }
 
-// getRetry runs one GET under the retry policy.
-func (c *Client) getRetry(ctx context.Context, path string, out any) error {
+// withRetry runs attempt under the client's retry policy: exponential
+// backoff with equal jitter between tries, an optional per-attempt
+// timeout, and an immediate stop when the error is final or the
+// caller's own context ends.
+func (c *Client) withRetry(ctx context.Context, attempt func(ctx context.Context) error) error {
 	p := *c.retry
 	delay := p.BaseDelay
 	var err error
-	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
-		if attempt > 0 {
+	for try := 0; try < p.MaxAttempts; try++ {
+		if try > 0 {
 			// Equal jitter: half deterministic, half uniform — spreads
 			// synchronized clients without losing the backoff floor.
 			d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
@@ -94,9 +120,9 @@ func (c *Client) getRetry(ctx context.Context, path string, out any) error {
 		if p.PerAttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
 		}
-		err = c.getOnce(actx, path, out)
+		err = attempt(actx)
 		cancel()
-		if err == nil || !retryableGet(err) {
+		if err == nil || !retryable(err) {
 			return err
 		}
 		// A dead parent context means the failure is the caller's
@@ -107,4 +133,11 @@ func (c *Client) getRetry(ctx context.Context, path string, out any) error {
 		}
 	}
 	return err
+}
+
+// getRetry runs one GET under the retry policy.
+func (c *Client) getRetry(ctx context.Context, path string, out any) error {
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		return c.getOnce(ctx, path, out)
+	})
 }

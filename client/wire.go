@@ -1,0 +1,180 @@
+package client
+
+import (
+	"encoding/json"
+	"io"
+	"mime"
+	"net/http"
+
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// Binary request/response bodies (application/x-kifmm-frame), mirror
+// images of the server's layouts in internal/service/wirehttp.go. Bulk
+// []float64 arrays cross as raw little-endian IEEE 754 words — no JSON
+// on the bulk path, every bit pattern (NaN payloads, infinities,
+// signed zeros) preserved exactly — while the small control headers
+// ride through as length-prefixed JSON blobs the caller marshals
+// separately.
+
+// encodePlanFrame assembles a plan-registration request body: the
+// marshaled PlanRequest header (sans src/trg) plus the coordinate
+// arrays.
+func encodePlanFrame(hdr []byte, src, trg []float64) []byte {
+	var w wire.Writer
+	w.Grow(4 + 4 + len(hdr) + 16 + 8*(len(src)+len(trg)))
+	w.U32(wire.FrameMagic)
+	w.Raw(hdr)
+	w.F64s(src)
+	w.F64s(trg)
+	return w.Bytes()
+}
+
+// encodeOneShotFrame assembles a one-shot evaluation request body:
+// the plan frame plus the density vector.
+func encodeOneShotFrame(hdr []byte, src, trg, den []float64) []byte {
+	var w wire.Writer
+	w.Grow(4 + 4 + len(hdr) + 24 + 8*(len(src)+len(trg)+len(den)))
+	w.U32(wire.FrameMagic)
+	w.Raw(hdr)
+	w.F64s(src)
+	w.F64s(trg)
+	w.F64s(den)
+	return w.Bytes()
+}
+
+// encodeEvalFrame assembles an evaluate request body.
+func encodeEvalFrame(den []float64) []byte {
+	var w wire.Writer
+	w.Grow(4 + 8 + 8*len(den))
+	w.U32(wire.FrameMagic)
+	w.F64s(den)
+	return w.Bytes()
+}
+
+// encodeEvalBatchFrame assembles an evaluate_batch request body.
+func encodeEvalBatchFrame(dens [][]float64) []byte {
+	total := 0
+	for _, d := range dens {
+		total += 8 + 8*len(d)
+	}
+	var w wire.Writer
+	w.Grow(4 + 4 + total)
+	w.U32(wire.FrameMagic)
+	w.U32(uint32(len(dens)))
+	for _, d := range dens {
+		w.F64s(d)
+	}
+	return w.Bytes()
+}
+
+// encodeUploadChunkFrame assembles one upload-chunk body: the word
+// offset this chunk starts at plus its words.
+func encodeUploadChunkFrame(off uint64, chunk []float64) []byte {
+	var w wire.Writer
+	w.Grow(4 + 8 + 8 + 8*len(chunk))
+	w.U32(wire.FrameMagic)
+	w.U64(off)
+	w.F64s(chunk)
+	return w.Bytes()
+}
+
+// splitEvalFrame parses an evaluate response body into the opaque JSON
+// meta blob (plan_id, stats, trace) and the potentials.
+func splitEvalFrame(p []byte) (meta []byte, pot []float64, err error) {
+	r := wire.NewReader(p)
+	if r.U32() != wire.FrameMagic || r.Err() != nil {
+		return nil, nil, errBadFrame()
+	}
+	meta = r.Raw()
+	pot = r.F64s()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, nil, errBadFrame()
+	}
+	return meta, pot, nil
+}
+
+// splitEvalBatchFrame parses an evaluate_batch response body.
+func splitEvalBatchFrame(p []byte) (meta []byte, pots [][]float64, err error) {
+	r := wire.NewReader(p)
+	if r.U32() != wire.FrameMagic || r.Err() != nil {
+		return nil, nil, errBadFrame()
+	}
+	meta = r.Raw()
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > r.Remaining()/8 {
+		return nil, nil, errBadFrame()
+	}
+	pots = make([][]float64, n)
+	for i := range pots {
+		pots[i] = r.F64s()
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, nil, errBadFrame()
+	}
+	return meta, pots, nil
+}
+
+func errBadFrame() error {
+	return &decodeError{err: wire.ErrMalformed}
+}
+
+// isFrameResponse reports whether the server answered in the binary
+// frame encoding (vs. the JSON default of older servers).
+func isFrameResponse(resp *http.Response) bool {
+	mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	return err == nil && mt == frameContentType
+}
+
+// readFrameResponse slurps a frame response body, bounded by the wire
+// format's own frame cap.
+func readFrameResponse(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, wire.MaxFrameBytes))
+}
+
+// decodeEvalResponse decodes an evaluate response in whichever
+// encoding the server chose: the negotiation is transparent to
+// callers, who always receive a filled EvaluateResponse.
+func decodeEvalResponse(resp *http.Response, out *service.EvaluateResponse) error {
+	if !isFrameResponse(resp) {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	raw, err := readFrameResponse(resp)
+	if err != nil {
+		return err
+	}
+	meta, pot, err := splitEvalFrame(raw)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(meta, out); err != nil {
+		return err
+	}
+	out.Potentials = pot
+	return nil
+}
+
+// decodeEvalBatchResponse is decodeEvalResponse for batch results.
+func decodeEvalBatchResponse(resp *http.Response, out *service.EvaluateBatchResponse) error {
+	if !isFrameResponse(resp) {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	raw, err := readFrameResponse(resp)
+	if err != nil {
+		return err
+	}
+	meta, pots, err := splitEvalBatchFrame(raw)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(meta, out); err != nil {
+		return err
+	}
+	out.Potentials = pots
+	return nil
+}
+
+// frameContentType re-exports the negotiated media type for request
+// headers.
+const frameContentType = service.ContentTypeFrame

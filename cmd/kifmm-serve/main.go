@@ -9,11 +9,20 @@
 //	POST /v1/plans/{id}/evaluate       densities -> potentials
 //	POST /v1/plans/{id}/evaluate_batch many density vectors in one sweep
 //	POST /v1/evaluate                  one-shot register + evaluate
+//	POST /v1/uploads                   create a chunked geometry upload
+//	POST /v1/uploads/{id}              append one binary chunk
+//	GET  /v1/uploads/{id}              committed prefix (resume offset)
 //	GET  /healthz                      liveness
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /v1/evals/recent              span trees of recent evaluations
 //	GET  /debug/vars                   expvar metrics (legacy "kifmm" key)
 //	GET  /debug/pprof/...              runtime profiles (with -pprof)
+//
+// Bulk arrays cross the wire as JSON by default or as binary frames
+// (Content-Type / Accept: application/x-kifmm-frame; see README "Wire
+// format"); evaluation POSTs honor an Idempotency-Key header so client
+// retries never double-evaluate. In-flight chunked uploads are bounded
+// in aggregate by -upload-bytes.
 //
 // Evaluation requests accept ?trace=1 to echo the evaluation's span
 // tree in the response. Structured request logs (slog, one line per
@@ -78,6 +87,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under GET /debug/pprof/")
 	slowEval := flag.Duration("slow-eval", time.Second, "log requests slower than this at WARN (0 = never)")
 	traceRing := flag.Int("trace-ring", 0, "evaluations retained for GET /v1/evals/recent (0 = default 64)")
+	uploadBytes := flag.Int64("upload-bytes", 0, "aggregate budget for in-flight chunked geometry uploads (0 = default 1 GiB)")
 	role := flag.String("role", "", `cluster role: "coordinator" fans large one-shot evaluations across joined workers, "worker" joins a coordinator; empty = single node`)
 	join := flag.String("join", "", "coordinator cluster address a worker dials (-role worker)")
 	clusterListen := flag.String("cluster-listen", "", "cluster listener: where the coordinator accepts workers (default 127.0.0.1:7946) or where a worker accepts rank-to-rank mesh traffic (default 127.0.0.1:0)")
@@ -143,8 +153,8 @@ func main() {
 	svc := service.New(service.Config{
 		CacheSize: *cacheSize, CacheBytes: *cacheBytes,
 		MaxWorkers: *maxWorkers, MinLanePerEval: *minLane,
-		TraceRing: *traceRing,
-		Cluster:   coord, ClusterMinPoints: *clusterMinPoints,
+		TraceRing: *traceRing, UploadBytes: *uploadBytes,
+		Cluster: coord, ClusterMinPoints: *clusterMinPoints,
 	})
 	opts := []service.ServerOption{
 		service.WithEvalTimeout(*evalTimeout),

@@ -14,11 +14,12 @@
 // mesh, so the coordinator is not a bandwidth bottleneck on the hot
 // path. Every node has its own listener.
 //
-// Wire format: length-prefixed little-endian binary frames. Bulk
-// float64/int32 arrays (coordinates, densities, equivalent densities,
-// potentials) are raw little-endian words — no JSON on the hot path.
-// Small control payloads (handshake, job headers, timelines) are JSON
-// inside their frame.
+// Wire format: length-prefixed little-endian binary frames following
+// the shared internal/wire conventions. Bulk float64/int32 arrays
+// (coordinates, densities, equivalent densities, potentials) are raw
+// little-endian words — no JSON on the hot path. Small control
+// payloads (handshake, job headers, timelines) are JSON inside their
+// frame.
 package cluster
 
 import (
@@ -26,9 +27,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // frameType discriminates wire frames.
@@ -51,10 +53,10 @@ const (
 	fP2P
 )
 
-// maxFrameBytes bounds a single frame (1 GiB: tens of millions of
-// points of coordinate data; anything beyond is a protocol error, not
-// a workload).
-const maxFrameBytes = 1 << 30
+// maxFrameBytes bounds a single frame: the shared wire limit (1 GiB —
+// tens of millions of points of coordinate data; anything beyond is a
+// protocol error, not a workload).
+const maxFrameBytes = wire.MaxFrameBytes
 
 // frame header: u32 little-endian length of (type byte + payload).
 const frameHeaderBytes = 4
@@ -109,161 +111,23 @@ func (fc *framedConn) readFrame() (frameType, []byte, error) {
 
 func (fc *framedConn) Close() error { return fc.c.Close() }
 
-// wbuf builds a frame payload.
-type wbuf struct{ b []byte }
+// Frame payloads are assembled with wire.Writer and decoded with
+// wire.Reader — the shared little-endian conventions extracted from
+// this file into internal/wire (the HTTP API's
+// application/x-kifmm-frame bodies speak the same format).
 
-func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
-func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
-func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
-func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
-
-func (w *wbuf) f64s(v []float64) {
-	w.u64(uint64(len(v)))
-	off := len(w.b)
-	w.b = append(w.b, make([]byte, 8*len(v))...)
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(w.b[off+8*i:], math.Float64bits(x))
-	}
+// errMalformed is the decoder's uniform parse failure; it wraps
+// wire.ErrMalformed so errors.Is works across the layers.
+func errMalformed() error {
+	return fmt.Errorf("cluster: malformed frame payload: %w", wire.ErrMalformed)
 }
 
-func (w *wbuf) i64s(v []int64) {
-	w.u64(uint64(len(v)))
-	off := len(w.b)
-	w.b = append(w.b, make([]byte, 8*len(v))...)
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(w.b[off+8*i:], uint64(x))
-	}
-}
-
-func (w *wbuf) i32s(v []int32) {
-	w.u64(uint64(len(v)))
-	off := len(w.b)
-	w.b = append(w.b, make([]byte, 4*len(v))...)
-	for i, x := range v {
-		binary.LittleEndian.PutUint32(w.b[off+4*i:], uint32(x))
-	}
-}
-
-// raw appends a length-prefixed byte blob (JSON side channels).
-func (w *wbuf) raw(v []byte) {
-	w.u32(uint32(len(v)))
-	w.b = append(w.b, v...)
-}
-
-// rbuf decodes a frame payload; out-of-bounds reads latch an error and
-// return zero values, so decoders check err() once at the end.
-type rbuf struct {
-	b   []byte
-	off int
-	bad bool
-}
-
-func (r *rbuf) take(n int) []byte {
-	if r.bad || n < 0 || r.off+n > len(r.b) {
-		r.bad = true
-		return nil
-	}
-	v := r.b[r.off : r.off+n]
-	r.off += n
-	return v
-}
-
-func (r *rbuf) u8() byte {
-	v := r.take(1)
-	if v == nil {
-		return 0
-	}
-	return v[0]
-}
-
-func (r *rbuf) u32() uint32 {
-	v := r.take(4)
-	if v == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(v)
-}
-
-func (r *rbuf) u64() uint64 {
-	v := r.take(8)
-	if v == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(v)
-}
-
-func (r *rbuf) i64() int64 { return int64(r.u64()) }
-
-// length reads an array length and sanity-bounds it by the remaining
-// payload (elemBytes per element), so a corrupt length cannot trigger a
-// huge allocation.
-func (r *rbuf) length(elemBytes int) int {
-	n := r.u64()
-	if r.bad || n > uint64(len(r.b)-r.off)/uint64(elemBytes) {
-		r.bad = true
-		return 0
-	}
-	return int(n)
-}
-
-func (r *rbuf) f64s() []float64 {
-	n := r.length(8)
-	raw := r.take(8 * n)
-	if raw == nil {
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
-	}
-	return out
-}
-
-func (r *rbuf) i64s() []int64 {
-	n := r.length(8)
-	raw := r.take(8 * n)
-	if raw == nil {
-		return nil
-	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
-	}
-	return out
-}
-
-func (r *rbuf) i32s() []int32 {
-	n := r.length(4)
-	raw := r.take(4 * n)
-	if raw == nil {
-		return nil
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
-	}
-	return out
-}
-
-func (r *rbuf) raw() []byte {
-	n := r.u32()
-	if r.bad || uint64(n) > uint64(len(r.b)-r.off) {
-		r.bad = true
-		return nil
-	}
-	return r.take(int(n))
-}
-
-func (r *rbuf) err() error {
-	if r.bad {
-		return r.errMalformed()
+// frameErr maps a decoder's latched state onto the cluster error.
+func frameErr(r *wire.Reader) error {
+	if r.Err() != nil {
+		return errMalformed()
 	}
 	return nil
-}
-
-// errMalformed is the decoder's uniform parse failure.
-func (r *rbuf) errMalformed() error {
-	return fmt.Errorf("cluster: malformed frame payload")
 }
 
 // Collective element kinds on the wire.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/parfmm"
+	"repro/internal/wire"
 )
 
 // helloMsg is the worker->coordinator handshake (JSON payload of
@@ -67,22 +68,22 @@ func encodeJobStart(hdr *jobHeader, inputs []*parfmm.RankInput) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	var w wbuf
-	w.raw(raw)
+	var w wire.Writer
+	w.Raw(raw)
 	for _, in := range inputs {
-		w.f64s(in.Pts)
-		w.f64s(in.Den)
-		w.i32s(in.GlobalIdx)
+		w.F64s(in.Pts)
+		w.F64s(in.Den)
+		w.I32s(in.GlobalIdx)
 	}
-	return w.b, nil
+	return w.Bytes(), nil
 }
 
 // decodeJobStart parses a job-start payload into the header and the
 // local rank inputs.
 func decodeJobStart(p []byte) (*jobHeader, []*parfmm.RankInput, error) {
-	r := rbuf{b: p}
-	raw := r.raw()
-	if err := r.err(); err != nil {
+	r := wire.NewReader(p)
+	raw := r.Raw()
+	if err := frameErr(r); err != nil {
 		return nil, nil, err
 	}
 	var hdr jobHeader
@@ -91,13 +92,13 @@ func decodeJobStart(p []byte) (*jobHeader, []*parfmm.RankInput, error) {
 	}
 	n := hdr.RankHi - hdr.RankLo
 	if n < 0 || n > hdr.Size {
-		return nil, nil, r.errMalformed()
+		return nil, nil, errMalformed()
 	}
 	inputs := make([]*parfmm.RankInput, n)
 	for i := range inputs {
-		inputs[i] = &parfmm.RankInput{Pts: r.f64s(), Den: r.f64s(), GlobalIdx: r.i32s()}
+		inputs[i] = &parfmm.RankInput{Pts: r.F64s(), Den: r.F64s(), GlobalIdx: r.I32s()}
 	}
-	if err := r.err(); err != nil {
+	if err := frameErr(r); err != nil {
 		return nil, nil, err
 	}
 	return &hdr, inputs, nil
@@ -113,49 +114,49 @@ type rankResultWire struct {
 }
 
 func encodeJobResult(job uint64, ranks []rankResultWire) []byte {
-	var w wbuf
-	w.u64(job)
-	w.u32(uint32(len(ranks)))
+	var w wire.Writer
+	w.U64(job)
+	w.U32(uint32(len(ranks)))
 	for _, rr := range ranks {
-		w.u32(uint32(rr.Rank))
-		w.f64s(rr.Pot)
-		w.raw(rr.TL)
+		w.U32(uint32(rr.Rank))
+		w.F64s(rr.Pot)
+		w.Raw(rr.TL)
 	}
-	return w.b
+	return w.Bytes()
 }
 
 func decodeJobResult(p []byte) (job uint64, ranks []rankResultWire, err error) {
-	r := rbuf{b: p}
-	job = r.u64()
-	n := int(r.u32())
-	if r.bad || n < 0 || n > len(p) {
-		return 0, nil, r.errMalformed()
+	r := wire.NewReader(p)
+	job = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > len(p) {
+		return 0, nil, errMalformed()
 	}
 	ranks = make([]rankResultWire, n)
 	for i := range ranks {
-		ranks[i].Rank = int(r.u32())
-		ranks[i].Pot = r.f64s()
-		ranks[i].TL = append([]byte(nil), r.raw()...)
+		ranks[i].Rank = int(r.U32())
+		ranks[i].Pot = r.F64s()
+		ranks[i].TL = append([]byte(nil), r.Raw()...)
 	}
-	return job, ranks, r.err()
+	return job, ranks, frameErr(r)
 }
 
 // encodeJobStatus covers job-error (worker->coordinator) and job-abort
 // (coordinator->worker): a job id, a taxonomy code and a message.
 func encodeJobStatus(job uint64, code, msg string) []byte {
-	var w wbuf
-	w.u64(job)
-	w.raw([]byte(code))
-	w.raw([]byte(msg))
-	return w.b
+	var w wire.Writer
+	w.U64(job)
+	w.Raw([]byte(code))
+	w.Raw([]byte(msg))
+	return w.Bytes()
 }
 
 func decodeJobStatus(p []byte) (job uint64, code, msg string, err error) {
-	r := rbuf{b: p}
-	job = r.u64()
-	code = string(r.raw())
-	msg = string(r.raw())
-	return job, code, msg, r.err()
+	r := wire.NewReader(p)
+	job = r.U64()
+	code = string(r.Raw())
+	msg = string(r.Raw())
+	return job, code, msg, frameErr(r)
 }
 
 // collMsg is one rank's collective contribution (fColl payload).
@@ -171,39 +172,39 @@ type collMsg struct {
 }
 
 func encodeColl(m *collMsg) []byte {
-	var w wbuf
-	w.u64(m.Job)
-	w.u32(uint32(m.Rank))
-	w.u8(m.Kind)
-	w.u8(m.Op)
-	w.u64(m.Seq)
-	w.i64(m.EntryNS)
+	var w wire.Writer
+	w.U64(m.Job)
+	w.U32(uint32(m.Rank))
+	w.U8(m.Kind)
+	w.U8(m.Op)
+	w.U64(m.Seq)
+	w.I64(m.EntryNS)
 	switch m.Kind {
 	case collInt64:
-		w.i64s(m.I64)
+		w.I64s(m.I64)
 	case collFloat64:
-		w.f64s(m.F64)
+		w.F64s(m.F64)
 	}
-	return w.b
+	return w.Bytes()
 }
 
 func decodeColl(p []byte) (*collMsg, error) {
-	r := rbuf{b: p}
+	r := wire.NewReader(p)
 	m := &collMsg{
-		Job:  r.u64(),
-		Rank: int(r.u32()),
-		Kind: r.u8(),
-		Op:   r.u8(),
+		Job:  r.U64(),
+		Rank: int(r.U32()),
+		Kind: r.U8(),
+		Op:   r.U8(),
 	}
-	m.Seq = r.u64()
-	m.EntryNS = r.i64()
+	m.Seq = r.U64()
+	m.EntryNS = r.I64()
 	switch m.Kind {
 	case collInt64:
-		m.I64 = r.i64s()
+		m.I64 = r.I64s()
 	case collFloat64:
-		m.F64 = r.f64s()
+		m.F64 = r.F64s()
 	}
-	return m, r.err()
+	return m, frameErr(r)
 }
 
 // collRespMsg is the coordinator's combined answer to one rank (the
@@ -221,36 +222,36 @@ type collRespMsg struct {
 }
 
 func encodeCollResp(m *collRespMsg) []byte {
-	var w wbuf
-	w.u64(m.Job)
-	w.u32(uint32(m.Rank))
-	w.u64(m.Seq)
-	w.u32(uint32(m.LastRank))
-	w.i64(m.LastEntryNS)
-	w.u8(m.Kind)
+	var w wire.Writer
+	w.U64(m.Job)
+	w.U32(uint32(m.Rank))
+	w.U64(m.Seq)
+	w.U32(uint32(m.LastRank))
+	w.I64(m.LastEntryNS)
+	w.U8(m.Kind)
 	switch m.Kind {
 	case collInt64:
-		w.i64s(m.I64)
+		w.I64s(m.I64)
 	case collFloat64:
-		w.f64s(m.F64)
+		w.F64s(m.F64)
 	}
-	return w.b
+	return w.Bytes()
 }
 
 func decodeCollResp(p []byte) (*collRespMsg, error) {
-	r := rbuf{b: p}
-	m := &collRespMsg{Job: r.u64(), Rank: int(r.u32())}
-	m.Seq = r.u64()
-	m.LastRank = int(r.u32())
-	m.LastEntryNS = r.i64()
-	m.Kind = r.u8()
+	r := wire.NewReader(p)
+	m := &collRespMsg{Job: r.U64(), Rank: int(r.U32())}
+	m.Seq = r.U64()
+	m.LastRank = int(r.U32())
+	m.LastEntryNS = r.I64()
+	m.Kind = r.U8()
 	switch m.Kind {
 	case collInt64:
-		m.I64 = r.i64s()
+		m.I64 = r.I64s()
 	case collFloat64:
-		m.F64 = r.f64s()
+		m.F64 = r.F64s()
 	}
-	return m, r.err()
+	return m, frameErr(r)
 }
 
 // p2pMsg is one rank-to-rank payload on the mesh (fP2P). SentNS is the
@@ -267,25 +268,25 @@ type p2pMsg struct {
 }
 
 func encodeP2P(m *p2pMsg) []byte {
-	var w wbuf
-	w.u64(m.Job)
-	w.u32(uint32(m.Src))
-	w.u32(uint32(m.Dst))
-	w.u64(uint64(m.Tag))
-	w.i64(m.SentNS)
-	w.f64s(m.Data)
-	return w.b
+	var w wire.Writer
+	w.U64(m.Job)
+	w.U32(uint32(m.Src))
+	w.U32(uint32(m.Dst))
+	w.U64(uint64(m.Tag))
+	w.I64(m.SentNS)
+	w.F64s(m.Data)
+	return w.Bytes()
 }
 
 func decodeP2P(p []byte) (*p2pMsg, error) {
-	r := rbuf{b: p}
+	r := wire.NewReader(p)
 	m := &p2pMsg{
-		Job: r.u64(),
-		Src: int(r.u32()),
-		Dst: int(r.u32()),
-		Tag: int(r.u64()),
+		Job: r.U64(),
+		Src: int(r.U32()),
+		Dst: int(r.U32()),
+		Tag: int(r.U64()),
 	}
-	m.SentNS = r.i64()
-	m.Data = r.f64s()
-	return m, r.err()
+	m.SentNS = r.I64()
+	m.Data = r.F64s()
+	return m, frameErr(r)
 }

@@ -58,6 +58,14 @@ type TrajectoryEntry struct {
 	CommBytes      int64   `json:"comm_bytes,omitempty"`
 	CommMsgs       int64   `json:"comm_msgs,omitempty"`
 	CriticalPathMS float64 `json:"critical_path_ms,omitempty"`
+	// WireJSONBytes/WireFrameBytes and WireJSONCodecMS/WireFrameCodecMS
+	// describe wire-bench samples (-exp wire-bench): body bytes and
+	// encode+decode time of one simulated evaluate round trip in each
+	// HTTP encoding. Absent (zero) for every other sample kind.
+	WireJSONBytes    int64   `json:"wire_json_bytes,omitempty"`
+	WireFrameBytes   int64   `json:"wire_frame_bytes,omitempty"`
+	WireJSONCodecMS  float64 `json:"wire_json_codec_ms,omitempty"`
+	WireFrameCodecMS float64 `json:"wire_frame_codec_ms,omitempty"`
 }
 
 // TrajectoryFile is the JSON shape of BENCH_trajectory.json: a schema

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Wire-bench: a codec-only comparison of the HTTP API's two bulk
+// encodings. It simulates one evaluate round-trip — a densities
+// request body plus a potentials response body — through JSON and
+// through the binary frame encoding (internal/wire, the layouts of
+// internal/service/wirehttp.go), measuring body bytes and encode+decode
+// wall-clock, and verifying the two paths decode to bitwise-identical
+// values. No sockets and no FMM sweep: this isolates exactly the cost
+// the content-negotiated frame encoding removes.
+
+// wireBenchReps runs each codec path several times so a sub-10ms frame
+// pass is not measured off one scheduler hiccup; reported times are the
+// per-pass mean.
+const wireBenchReps = 3
+
+// WireBenchReport is the outcome of one wire-bench run.
+type WireBenchReport struct {
+	// N is the point count; request and response each carry N float64
+	// words (one density and one potential per point).
+	N int
+	// JSONBytes and FrameBytes are request+response body sizes.
+	JSONBytes  int64
+	FrameBytes int64
+	// JSONCodecMS and FrameCodecMS are the mean encode+decode times of
+	// one full round trip (request encode, server decode, response
+	// encode, client decode).
+	JSONCodecMS  float64
+	FrameCodecMS float64
+	// BytesRatio and CodecRatio are JSON/frame: how many times smaller
+	// and faster the frame path is.
+	BytesRatio float64
+	CodecRatio float64
+	// Identical reports that the frame and JSON paths both delivered
+	// the original values bit-for-bit.
+	Identical bool
+	// Table is the printable summary.
+	Table string
+}
+
+// wireEvalRequest and wireEvalResponse mirror the service's evaluate
+// wire shapes without importing the service layer.
+type wireEvalRequest struct {
+	Densities []float64 `json:"densities"`
+}
+
+type wireEvalResponse struct {
+	PlanID     string    `json:"plan_id"`
+	Potentials []float64 `json:"potentials"`
+}
+
+// RunWireBench measures one simulated n-point evaluate round-trip in
+// both encodings (n <= 0 selects the acceptance size, one million
+// points).
+func RunWireBench(n int) (*WireBenchReport, error) {
+	if n <= 0 {
+		n = 1_000_000
+	}
+	den := lcgFloats(n, 0x9E3779B97F4A7C15)
+	pot := lcgFloats(n, 0xD1B54A32D192ED03)
+
+	rep := &WireBenchReport{N: n}
+
+	// JSON path: the default encoding — request and response marshaled
+	// and unmarshaled the way net/http handlers do.
+	var jsonDen, jsonPot []float64
+	start := time.Now()
+	for i := 0; i < wireBenchReps; i++ {
+		reqB, err := json.Marshal(wireEvalRequest{Densities: den})
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: encode json request: %w", err)
+		}
+		var req wireEvalRequest
+		if err := json.Unmarshal(reqB, &req); err != nil {
+			return nil, fmt.Errorf("wirebench: decode json request: %w", err)
+		}
+		respB, err := json.Marshal(wireEvalResponse{PlanID: "wirebench", Potentials: pot})
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: encode json response: %w", err)
+		}
+		var resp wireEvalResponse
+		if err := json.Unmarshal(respB, &resp); err != nil {
+			return nil, fmt.Errorf("wirebench: decode json response: %w", err)
+		}
+		jsonDen, jsonPot = req.Densities, resp.Potentials
+		rep.JSONBytes = int64(len(reqB) + len(respB))
+	}
+	rep.JSONCodecMS = ms(time.Since(start) / wireBenchReps)
+
+	// Frame path: the negotiated binary encoding — the request is
+	// magic + densities, the response magic + JSON meta + potentials,
+	// exactly the service's layouts.
+	var frameDen, framePot []float64
+	start = time.Now()
+	for i := 0; i < wireBenchReps; i++ {
+		var wreq wire.Writer
+		wreq.Grow(4 + 8 + 8*len(den))
+		wreq.U32(wire.FrameMagic)
+		wreq.F64s(den)
+		reqB := wreq.Bytes()
+		r := wire.NewReader(reqB)
+		if r.U32() != wire.FrameMagic {
+			return nil, fmt.Errorf("wirebench: frame request magic mismatch")
+		}
+		frameDen = r.F64s()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("wirebench: decode frame request: %w", err)
+		}
+		meta, err := json.Marshal(wireEvalResponse{PlanID: "wirebench"})
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: encode frame meta: %w", err)
+		}
+		var wresp wire.Writer
+		wresp.Grow(4 + 4 + len(meta) + 8 + 8*len(pot))
+		wresp.U32(wire.FrameMagic)
+		wresp.Raw(meta)
+		wresp.F64s(pot)
+		respB := wresp.Bytes()
+		r = wire.NewReader(respB)
+		if r.U32() != wire.FrameMagic {
+			return nil, fmt.Errorf("wirebench: frame response magic mismatch")
+		}
+		var resp wireEvalResponse
+		if err := json.Unmarshal(r.Raw(), &resp); err != nil {
+			return nil, fmt.Errorf("wirebench: decode frame meta: %w", err)
+		}
+		framePot = r.F64s()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("wirebench: decode frame response: %w", err)
+		}
+		rep.FrameBytes = int64(len(reqB) + len(respB))
+	}
+	rep.FrameCodecMS = ms(time.Since(start) / wireBenchReps)
+
+	rep.Identical = bitsEqual(den, jsonDen) && bitsEqual(pot, jsonPot) &&
+		bitsEqual(den, frameDen) && bitsEqual(pot, framePot)
+	rep.BytesRatio = float64(rep.JSONBytes) / float64(rep.FrameBytes)
+	rep.CodecRatio = rep.JSONCodecMS / rep.FrameCodecMS
+	rep.Table = wireBenchTable(rep)
+	return rep, nil
+}
+
+// lcgFloats fills n deterministic float64 values in [-1, 1) from a
+// 64-bit LCG, so every run (and every encoding) sees the same bits.
+func lcgFloats(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		// Top 53 bits -> [0, 1), shifted to [-1, 1).
+		out[i] = float64(x>>11)/float64(1<<53)*2 - 1
+	}
+	return out
+}
+
+// bitsEqual compares two vectors bit-for-bit (NaN-safe, signed-zero
+// strict — the equality the binary wire format guarantees).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func wireBenchTable(rep *WireBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wire-bench: %d-point evaluate round trip (request densities + response potentials), %d reps\n\n", rep.N, wireBenchReps)
+	b.WriteString("encoding      body bytes   codec ms\n")
+	fmt.Fprintf(&b, "json        %12d %10.1f\n", rep.JSONBytes, rep.JSONCodecMS)
+	fmt.Fprintf(&b, "frame       %12d %10.1f\n", rep.FrameBytes, rep.FrameCodecMS)
+	fmt.Fprintf(&b, "\nframe is %.1fx smaller and %.1fx faster to encode+decode; bitwise identical: %v\n",
+		rep.BytesRatio, rep.CodecRatio, rep.Identical)
+	return b.String()
+}
+
+// WireBenchTrajectoryEntry converts a wire-bench run into a trajectory
+// sample: no FMM sweep is involved, so only the shape and the wire_*
+// fields are meaningful.
+func WireBenchTrajectoryEntry(rep *WireBenchReport, label string) TrajectoryEntry {
+	return TrajectoryEntry{
+		GitSHA:           GitSHA(),
+		Date:             time.Now().UTC().Format(time.RFC3339),
+		Label:            label,
+		N:                rep.N,
+		Kernel:           "none",
+		Backend:          "wire",
+		Iterations:       wireBenchReps,
+		StageMS:          map[string]float64{},
+		WireJSONBytes:    rep.JSONBytes,
+		WireFrameBytes:   rep.FrameBytes,
+		WireJSONCodecMS:  rep.JSONCodecMS,
+		WireFrameCodecMS: rep.FrameCodecMS,
+	}
+}

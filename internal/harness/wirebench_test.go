@@ -1,0 +1,43 @@
+package harness
+
+import "testing"
+
+func TestRunWireBench(t *testing.T) {
+	rep, err := RunWireBench(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatal("frame and JSON paths decoded to different bits")
+	}
+	if rep.FrameBytes >= rep.JSONBytes {
+		t.Errorf("frame bytes %d not smaller than JSON bytes %d", rep.FrameBytes, rep.JSONBytes)
+	}
+	if rep.BytesRatio <= 1 || rep.CodecRatio <= 0 {
+		t.Errorf("implausible ratios: bytes=%.2f codec=%.2f", rep.BytesRatio, rep.CodecRatio)
+	}
+	if rep.Table == "" {
+		t.Error("empty report table")
+	}
+
+	e := WireBenchTrajectoryEntry(rep, "test")
+	if e.N != 2000 || e.Backend != "wire" || e.Label != "test" {
+		t.Errorf("trajectory entry shape wrong: %+v", e)
+	}
+	if e.WireJSONBytes != rep.JSONBytes || e.WireFrameBytes != rep.FrameBytes {
+		t.Errorf("trajectory entry bytes do not match report: %+v", e)
+	}
+}
+
+func TestLcgFloatsDeterministicInRange(t *testing.T) {
+	a := lcgFloats(512, 42)
+	b := lcgFloats(512, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("lcgFloats not deterministic at %d", i)
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("lcgFloats[%d]=%g outside [-1,1)", i, a[i])
+		}
+	}
+}

@@ -37,6 +37,15 @@ import (
 // silent on it.
 func Run(t testing.TB, testdata string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, pkgPath)
+}
+
+// RunAll is Run for a fixture shared by several analyzers: the pooled
+// diagnostics of all of them are matched against the fixture's want
+// comments, so one package can carry positive cases for multiple rules
+// (the way real packages are subject to the whole analyzer suite).
+func RunAll(t testing.TB, testdata string, analyzers []*analysis.Analyzer, pkgPath string) {
+	t.Helper()
 	pkg := Load(t, testdata, pkgPath)
 
 	type diag struct {
@@ -44,18 +53,20 @@ func Run(t testing.TB, testdata string, a *analysis.Analyzer, pkgPath string) {
 		msg string
 	}
 	var got []diag
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report: func(d analysis.Diagnostic) {
-			got = append(got, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
-		},
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report: func(d analysis.Diagnostic) {
+				got = append(got, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+		}
 	}
 
 	wants, err := parseWants(pkg)

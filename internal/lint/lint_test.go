@@ -28,8 +28,14 @@ func TestCtxFirstSkipsCmd(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.CtxFirst, "repro/cmd/enginetool")
 }
 
-func TestErrTaxonomyFixture(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.ErrTaxonomy, "repro/internal/service")
+// TestServiceFixture: the service fixture carries positive cases for
+// two rules at once — errtaxonomy on escaping errors and nojsonhot on
+// the bulk HTTP wire path — so both analyzers run pooled, the way the
+// real package is linted.
+func TestServiceFixture(t *testing.T) {
+	analysistest.RunAll(t, "testdata",
+		[]*analysis.Analyzer{lint.ErrTaxonomy, lint.NoJSONHot},
+		"repro/internal/service")
 }
 
 func TestNoJSONHotComputeFixture(t *testing.T) {
@@ -38,6 +44,18 @@ func TestNoJSONHotComputeFixture(t *testing.T) {
 
 func TestNoJSONHotClusterFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.NoJSONHot, "repro/internal/cluster")
+}
+
+// TestNoJSONHotWireFixture: internal/wire is a full-ban package — even
+// an import of encoding/json is flagged.
+func TestNoJSONHotWireFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoJSONHot, "repro/internal/wire")
+}
+
+// TestNoJSONHotClientFixture: the client mirrors the server's bulk
+// rule — frame codecs must stay off encoding/json.
+func TestNoJSONHotClientFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoJSONHot, "repro/client")
 }
 
 func TestMetricNamesFixture(t *testing.T) {

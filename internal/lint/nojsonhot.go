@@ -17,18 +17,25 @@ var jsonBanPkgs = []string{
 	"internal/translate",
 	"internal/fmm",
 	"internal/exec",
+	"internal/wire",
 }
 
-// clusterPkg gets a scoped rule: JSON is fine for control payloads
-// (hello, heartbeats, job headers) but banned in the bulk-frame path —
-// any function whose signature traffics in raw float64 arrays moves
-// coordinates, densities or potentials and must use raw little-endian
-// words.
-const clusterPkg = "internal/cluster"
+// bulkWirePkgs get a scoped rule: JSON is fine for control payloads
+// (hello, heartbeats, job headers, response meta) but banned in the
+// bulk-frame path — any function whose signature traffics in raw
+// float64 arrays moves coordinates, densities or potentials and must
+// use the internal/wire little-endian primitives. The list covers
+// every layer bulk arrays cross: the cluster TCP frames, the HTTP
+// service's negotiated bodies, and the client mirroring them.
+var bulkWirePkgs = []string{
+	"internal/cluster",
+	"internal/service",
+	"repro/client",
+}
 
 // NoJSONHot bans encoding/json from the compute hot-path packages
-// outright, bans it from internal/cluster functions that handle raw
-// float64 bulk arrays, and flags fmt.Sprintf inside loops in any of
+// outright, bans it from bulk-wire-layer functions that handle raw
+// float64 arrays, and flags fmt.Sprintf inside loops in any of
 // those packages (per-element formatting allocates on paths that run
 // per point).
 var NoJSONHot = &analysis.Analyzer{
@@ -39,8 +46,8 @@ var NoJSONHot = &analysis.Analyzer{
 
 func runNoJSONHot(pass *analysis.Pass) (interface{}, error) {
 	full := pathMatches(pass.Pkg.Path(), jsonBanPkgs...)
-	cluster := pathMatches(pass.Pkg.Path(), clusterPkg)
-	if !full && !cluster {
+	bulk := pathMatches(pass.Pkg.Path(), bulkWirePkgs...)
+	if !full && !bulk {
 		return nil, nil
 	}
 	for _, file := range pass.Files {
@@ -51,7 +58,7 @@ func runNoJSONHot(pass *analysis.Pass) (interface{}, error) {
 				}
 			}
 		}
-		if cluster {
+		if bulk {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil || !handlesBulkFloats(pass.TypesInfo, fd.Type) {

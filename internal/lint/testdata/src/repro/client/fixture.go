@@ -1,0 +1,21 @@
+// Package client is the nojsonhot bulk-wire fixture for the client
+// side of the negotiated HTTP encoding: the same rule as the server —
+// JSON for control payloads, raw little-endian words for bulk arrays.
+package client
+
+import "encoding/json"
+
+// planHeader is the control-plane part of a frame body.
+type planHeader struct {
+	Kernel string `json:"kernel"`
+}
+
+// encodeHeader is control-plane JSON: not flagged.
+func encodeHeader(h planHeader) ([]byte, error) {
+	return json.Marshal(h)
+}
+
+// encodeDensities ships a bulk density vector as JSON text.
+func encodeDensities(den []float64) ([]byte, error) {
+	return json.Marshal(den) // want `encoding/json on the bulk-frame path \(encodeDensities handles raw float64 arrays\)`
+}

@@ -1,0 +1,30 @@
+// The nojsonhot half of the service fixture: the HTTP layer negotiates
+// binary frames for bulk arrays, so any service function whose
+// signature carries raw float64 slices must stay off encoding/json.
+// JSON remains legal for control payloads — request headers, response
+// meta — carried in named structs.
+package service
+
+import "encoding/json"
+
+// evalMeta is response meta: a named control-plane struct, so its
+// codec is not the bulk path even though bulk handlers marshal it.
+type evalMeta struct {
+	PlanID string `json:"plan_id"`
+}
+
+// marshalMeta is control-plane JSON: no bulk arrays in the signature.
+func marshalMeta(m evalMeta) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// writePotentials pushes bulk potentials through JSON instead of the
+// frame encoding.
+func writePotentials(pot []float64) ([]byte, error) {
+	return json.Marshal(pot) // want `encoding/json on the bulk-frame path \(writePotentials handles raw float64 arrays\)`
+}
+
+// readBatchBody parses density vectors — bulk data — with JSON.
+func readBatchBody(raw []byte, dens *[][]float64) error {
+	return json.Unmarshal(raw, dens) // want `encoding/json on the bulk-frame path \(readBatchBody handles raw float64 arrays\)`
+}

@@ -1,0 +1,11 @@
+// Package wire is the nojsonhot full-ban fixture: the binary framing
+// layer exists to keep serialization cost off the bulk path, so
+// encoding/json must not appear in it at all — headers that need JSON
+// ride through as opaque blobs for the layers above to decode.
+package wire
+
+import "encoding/json" // want `encoding/json import in hot-path package wire`
+
+func headerJSON(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

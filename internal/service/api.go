@@ -37,6 +37,13 @@ type PlanRequest struct {
 	// Trg holds flat target coordinates; empty means "same as Src"
 	// (the paper's usual setup).
 	Trg []float64 `json:"trg,omitempty"`
+	// SrcUpload optionally names a completed chunked upload (POST
+	// /v1/uploads) to use as the source coordinates; mutually
+	// exclusive with Src.
+	SrcUpload string `json:"src_upload,omitempty"`
+	// TrgUpload is SrcUpload for the targets; mutually exclusive with
+	// Trg.
+	TrgUpload string `json:"trg_upload,omitempty"`
 	// Kernel names the interaction kernel and its parameters.
 	Kernel kernels.Spec `json:"kernel"`
 	// Degree is the equivalent-surface degree p (0 = default 6).

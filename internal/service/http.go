@@ -6,7 +6,9 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -33,6 +35,9 @@ const StatusClientClosedRequest = 499
 //	POST /v1/plans/{id}/evaluate       densities->potentials   -> EvaluateResponse
 //	POST /v1/plans/{id}/evaluate_batch many densities, 1 sweep -> EvaluateBatchResponse
 //	POST /v1/evaluate                  one-shot plan+eval      -> EvaluateResponse
+//	POST /v1/uploads                   create chunked upload   -> UploadStatus
+//	POST /v1/uploads/{id}              append binary chunk     -> UploadStatus
+//	GET  /v1/uploads/{id}              upload progress         -> UploadStatus
 //	GET  /v1/evals/recent              recent eval span trees  -> RecentEvalsResponse
 //	GET  /healthz                      liveness                -> HealthResponse
 //	GET  /metrics                      Prometheus text exposition
@@ -40,6 +45,15 @@ const StatusClientClosedRequest = 499
 //
 // The evaluation endpoints accept ?trace=1 to echo the request's span
 // tree (wall-clock per pass and tree level) in the response.
+//
+// Bulk bodies are content-negotiated (see wirehttp.go): a request with
+// Content-Type application/x-kifmm-frame ships coordinates/densities
+// as raw little-endian float64 words, and Accept:
+// application/x-kifmm-frame selects the same encoding for response
+// potentials; JSON remains the default in both directions, and errors
+// are always JSON. The evaluation POSTs additionally honor an
+// Idempotency-Key header (see idem.go): duplicates of a keyed request
+// replay the stored response instead of re-running the evaluation.
 //
 // Every request runs under r.Context() plus the configured per-request
 // deadline (WithEvalTimeout / kifmm-serve's -eval-timeout): a client
@@ -72,6 +86,8 @@ type Server struct {
 	slowThreshold time.Duration
 	pprof         bool
 	reqSeq        atomic.Int64
+	// idem deduplicates Idempotency-Key'd evaluation POSTs.
+	idem *idemStore
 }
 
 // ServerOption customizes a Server.
@@ -108,14 +124,17 @@ func WithPprof() ServerOption {
 
 // NewServer wraps svc in an HTTP handler.
 func NewServer(svc *Service, opts ...ServerOption) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now(), idem: newIdemStore()}
 	for _, o := range opts {
 		o(s)
 	}
 	s.handle("POST /v1/plans", s.handleRegister)
-	s.handle("POST /v1/plans/{id}/evaluate", s.handleEvaluate)
-	s.handle("POST /v1/plans/{id}/evaluate_batch", s.handleEvaluateBatch)
-	s.handle("POST /v1/evaluate", s.handleOneShot)
+	s.handle("POST /v1/plans/{id}/evaluate", s.idempotent(s.handleEvaluate))
+	s.handle("POST /v1/plans/{id}/evaluate_batch", s.idempotent(s.handleEvaluateBatch))
+	s.handle("POST /v1/evaluate", s.idempotent(s.handleOneShot))
+	s.handle("POST /v1/uploads", s.handleUploadCreate)
+	s.handle("POST /v1/uploads/{id}", s.handleUploadChunk)
+	s.handle("GET /v1/uploads/{id}", s.handleUploadStatus)
 	s.handle("GET /v1/evals/recent", s.handleRecentEvals)
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("GET /metrics", s.handleMetrics)
@@ -136,10 +155,12 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// statusWriter captures the response status for metrics and logs.
+// statusWriter captures the response status and body size for metrics
+// and logs.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(status int) {
@@ -153,8 +174,26 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
+
+// countingReader counts request-body bytes as the handler consumes
+// them (so kifmm_http_request_bytes_total reflects bytes actually
+// read, whatever the client's Content-Length claimed).
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
 
 // handle registers a route wrapped in the observability middleware:
 // per-route request counters and duration histograms, plus an optional
@@ -186,6 +225,8 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		ctx := obs.ContextWithTrace(r.Context(), tc)
 		ctx = contextWithRequestMeta(ctx, requestMeta{id: reqID, parentSpan: parentSpan})
 		r = r.WithContext(ctx)
+		cr := &countingReader{rc: r.Body}
+		r.Body = cr
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		if sw.status == 0 {
@@ -195,6 +236,8 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		m := s.svc.m
 		m.httpRequests.With(pattern, strconv.Itoa(sw.status)).Inc()
 		m.httpRequestSeconds.With(pattern).Observe(dur.Seconds())
+		m.httpRequestBytes.Add(cr.n)
+		m.httpResponseBytes.Add(sw.bytes)
 		slow := s.slowThreshold > 0 && dur >= s.slowThreshold
 		if slow {
 			m.evalSlow.Inc()
@@ -299,12 +342,62 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, badRequest("decoding body: %s", err))
 		return false
 	}
+	// The body must be exactly one JSON value: trailing bytes — a second
+	// value, or garbage like `{...}x` — are a malformed request, not
+	// ignorable padding (silently accepting them masks client bugs such
+	// as concatenated or truncated-and-resumed bodies).
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, badRequest("request body has trailing data after the JSON value"))
+		return false
+	}
+	return true
+}
+
+// readFrameBody slurps a binary frame request body under the standard
+// size bound.
+func readFrameBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	p, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLargeErr *http.MaxBytesError
+		if errors.As(err, &tooLargeErr) {
+			writeError(w, tooLarge("request body exceeds %d bytes", tooLargeErr.Limit))
+			return nil, false
+		}
+		writeError(w, badRequest("reading body: %s", err))
+		return nil, false
+	}
+	return p, true
+}
+
+// readPlanRequest decodes a plan registration body in either encoding,
+// counting it in kifmm_wire_encoding_total.
+func (s *Server) readPlanRequest(w http.ResponseWriter, r *http.Request, req *PlanRequest) bool {
+	if !isFrameRequest(r) {
+		s.svc.m.wireEncoding.With("json").Inc()
+		return readJSON(w, r, req)
+	}
+	s.svc.m.wireEncoding.With("frame").Inc()
+	body, ok := readFrameBody(w, r)
+	if !ok {
+		return false
+	}
+	hdr, src, trg, err := decodePlanFrame(body)
+	if err != nil {
+		writeError(w, err)
+		return false
+	}
+	if err := json.Unmarshal(hdr, req); err != nil {
+		writeError(w, badRequest("decoding plan frame header: %s", err))
+		return false
+	}
+	req.Src, req.Trg = src, trg
 	return true
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
-	if !readJSON(w, r, &req) {
+	if !s.readPlanRequest(w, r, &req) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -328,15 +421,106 @@ func wantTrace(r *http.Request) bool {
 	return err == nil && t
 }
 
+// nonFiniteIndex returns the index of the first NaN or infinite value
+// in v, or -1 when every value is finite (and so JSON-representable).
+func nonFiniteIndex(v []float64) int {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// errNonFinite is the typed refusal to put a non-finite potential on
+// the JSON wire: encoding/json cannot represent NaN or Inf, so instead
+// of an opaque 500 from a failed marshal the client learns which
+// output overflowed and how to receive it anyway.
+func errNonFinite(at string, v float64) error {
+	return badRequest("%s is %v, which JSON cannot represent; overflowing densities usually mean bad input, but the value itself is retrievable bit-exactly with Accept: %s",
+		at, v, ContentTypeFrame)
+}
+
+// writeEvalResponse sends an EvaluateResponse in the negotiated
+// encoding: a binary frame (meta header + raw potential words, any bit
+// pattern) when the request accepts it, JSON — with a typed error for
+// non-finite potentials JSON cannot carry — otherwise.
+func (s *Server) writeEvalResponse(w http.ResponseWriter, r *http.Request, resp EvaluateResponse) {
+	if wantsFrameResponse(r) {
+		s.svc.m.wireEncoding.With("frame").Inc()
+		pot := resp.Potentials
+		resp.Potentials = nil
+		meta, err := json.Marshal(resp)
+		if err != nil {
+			writeError(w, errs.Newf(errs.CodeInternal, "service: encoding response meta: %s", err))
+			return
+		}
+		writeFrame(w, http.StatusOK, encodeEvalFrame(meta, pot))
+		return
+	}
+	s.svc.m.wireEncoding.With("json").Inc()
+	if i := nonFiniteIndex(resp.Potentials); i >= 0 {
+		writeError(w, errNonFinite(fmt.Sprintf("potentials[%d]", i), resp.Potentials[i]))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeEvalBatchResponse is writeEvalResponse for batch results.
+func (s *Server) writeEvalBatchResponse(w http.ResponseWriter, r *http.Request, resp EvaluateBatchResponse) {
+	if wantsFrameResponse(r) {
+		s.svc.m.wireEncoding.With("frame").Inc()
+		pots := resp.Potentials
+		resp.Potentials = nil
+		meta, err := json.Marshal(resp)
+		if err != nil {
+			writeError(w, errs.Newf(errs.CodeInternal, "service: encoding response meta: %s", err))
+			return
+		}
+		writeFrame(w, http.StatusOK, encodeEvalBatchFrame(meta, pots))
+		return
+	}
+	s.svc.m.wireEncoding.With("json").Inc()
+	for q, pot := range resp.Potentials {
+		if i := nonFiniteIndex(pot); i >= 0 {
+			writeError(w, errNonFiniteBatch(q, i, pot[i]))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errNonFiniteBatch is errNonFinite for one vector of a batch; the
+// index formatting lives here, off the scan loop.
+func errNonFiniteBatch(q, i int, v float64) error {
+	return errNonFinite(fmt.Sprintf("potentials[%d][%d]", q, i), v)
+}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req EvaluateRequest
-	if !readJSON(w, r, &req) {
-		return
+	var den []float64
+	if isFrameRequest(r) {
+		s.svc.m.wireEncoding.With("frame").Inc()
+		body, ok := readFrameBody(w, r)
+		if !ok {
+			return
+		}
+		var err error
+		if den, err = decodeEvalFrame(body); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		s.svc.m.wireEncoding.With("json").Inc()
+		var req EvaluateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		den = req.Densities
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	pot, st, span, err := s.svc.EvaluateTraced(ctx, id, req.Densities)
+	pot, st, span, err := s.svc.EvaluateTraced(ctx, id, den)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -345,18 +529,34 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if wantTrace(r) {
 		resp.Trace = span
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeEvalResponse(w, r, resp)
 }
 
 func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req EvaluateBatchRequest
-	if !readJSON(w, r, &req) {
-		return
+	var dens [][]float64
+	if isFrameRequest(r) {
+		s.svc.m.wireEncoding.With("frame").Inc()
+		body, ok := readFrameBody(w, r)
+		if !ok {
+			return
+		}
+		var err error
+		if dens, err = decodeEvalBatchFrame(body); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		s.svc.m.wireEncoding.With("json").Inc()
+		var req EvaluateBatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		dens = req.Densities
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	pots, st, span, err := s.svc.EvaluateBatchTraced(ctx, id, req.Densities)
+	pots, st, span, err := s.svc.EvaluateBatchTraced(ctx, id, dens)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -365,13 +565,32 @@ func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 	if wantTrace(r) {
 		resp.Trace = span
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeEvalBatchResponse(w, r, resp)
 }
 
 func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 	var req OneShotRequest
-	if !readJSON(w, r, &req) {
-		return
+	if isFrameRequest(r) {
+		s.svc.m.wireEncoding.With("frame").Inc()
+		body, ok := readFrameBody(w, r)
+		if !ok {
+			return
+		}
+		hdr, src, trg, den, err := decodeOneShotFrame(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := json.Unmarshal(hdr, &req); err != nil {
+			writeError(w, badRequest("decoding evaluate frame header: %s", err))
+			return
+		}
+		req.Src, req.Trg, req.Densities = src, trg, den
+	} else {
+		s.svc.m.wireEncoding.With("json").Inc()
+		if !readJSON(w, r, &req) {
+			return
+		}
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
@@ -384,7 +603,7 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 	if wantTrace(r) {
 		resp.Trace = span
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeEvalResponse(w, r, resp)
 }
 
 // handleRecentEvals serves the span trees of recent evaluations, newest

@@ -46,6 +46,9 @@ type metrics struct {
 	// HTTP layer (fed by the Server middleware).
 	httpRequests       *obs.CounterVec
 	httpRequestSeconds *obs.HistogramVec
+	httpRequestBytes   *obs.Counter
+	httpResponseBytes  *obs.Counter
+	wireEncoding       *obs.CounterVec
 
 	// Cluster fan-out (zero-valued when the service runs single-node).
 	clusterPassWireSeconds *obs.HistogramVec
@@ -128,6 +131,12 @@ func newMetrics(s *Service) *metrics {
 	m.httpRequestSeconds = r.HistogramVec("kifmm_http_request_seconds",
 		"HTTP request duration in seconds by route.",
 		obs.ExpBuckets(0.001, 4, 10), "route")
+	m.httpRequestBytes = r.Counter("kifmm_http_request_bytes_total",
+		"Request body bytes read by API handlers.")
+	m.httpResponseBytes = r.Counter("kifmm_http_response_bytes_total",
+		"Response body bytes written by API handlers.")
+	m.wireEncoding = r.CounterVec("kifmm_wire_encoding_total",
+		"Bulk request/response bodies by negotiated encoding (json or frame).", "encoding")
 
 	// Build identity: the conventional constant-1 gauge whose labels
 	// carry the interesting values, joinable against any other series.

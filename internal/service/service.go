@@ -91,6 +91,10 @@ type Config struct {
 	// evaluations route to the cluster (default 8192). Ignored when
 	// Cluster is nil.
 	ClusterMinPoints int
+	// UploadBytes bounds the aggregate size of in-flight chunked
+	// geometry uploads (default 1 GiB). Each upload is pre-sized at
+	// creation; uploads idle past their TTL release their budget.
+	UploadBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClusterMinPoints <= 0 {
 		c.ClusterMinPoints = 8192
+	}
+	if c.UploadBytes <= 0 {
+		c.UploadBytes = 1 << 30
 	}
 	return c
 }
@@ -190,6 +197,10 @@ type Service struct {
 	// spans retains recent evaluation span trees for GET
 	// /v1/evals/recent; bounded (Config.TraceRing).
 	spans *obs.SpanRing
+
+	// uploads holds in-flight chunked geometry uploads (see uploads.go);
+	// bounded by Config.UploadBytes.
+	uploads *uploadStore
 }
 
 // New returns a ready Service.
@@ -203,6 +214,7 @@ func New(cfg Config) *Service {
 		building: make(map[string]*buildCall),
 		pool:     pool,
 		spans:    obs.NewSpanRing(cfg.TraceRing),
+		uploads:  newUploadStore(cfg.UploadBytes),
 	}
 	s.m = newMetrics(s)
 	pool.SetAcquireObserver(func(wait time.Duration, _ int) {
@@ -335,6 +347,18 @@ func (s *Service) runBuild(ctx context.Context, key string, c *buildCall, src, t
 // of re-deriving it from the kernel).
 func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Options, spec kernels.Spec, key string, err error) {
 	src = req.Src
+	// An upload reference substitutes a completed chunked upload's
+	// words for inline coordinates; the plan key hashes the resolved
+	// content either way, so upload-seeded and inline registrations of
+	// the same geometry share one plan.
+	if req.SrcUpload != "" {
+		if len(src) > 0 {
+			return nil, nil, opt, spec, "", badRequest("src and src_upload are mutually exclusive")
+		}
+		if src, err = s.uploads.take(req.SrcUpload); err != nil {
+			return nil, nil, opt, spec, "", err
+		}
+	}
 	if len(src) == 0 || len(src)%3 != 0 {
 		return nil, nil, opt, spec, "", badRequest("src needs 3k > 0 coordinates, got %d", len(src))
 	}
@@ -342,6 +366,14 @@ func (s *Service) resolve(req PlanRequest) (src, trg []float64, opt kifmm.Option
 		return nil, nil, opt, spec, "", err
 	}
 	trg = req.Trg
+	if req.TrgUpload != "" {
+		if len(trg) > 0 {
+			return nil, nil, opt, spec, "", badRequest("trg and trg_upload are mutually exclusive")
+		}
+		if trg, err = s.uploads.take(req.TrgUpload); err != nil {
+			return nil, nil, opt, spec, "", err
+		}
+	}
 	if len(trg) == 0 {
 		trg = src
 	} else if len(trg)%3 != 0 {

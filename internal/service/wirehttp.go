@@ -1,0 +1,209 @@
+package service
+
+import (
+	"mime"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// The HTTP API's binary encoding, negotiated per request:
+//
+//	Content-Type: application/x-kifmm-frame   binary request body
+//	Accept: application/x-kifmm-frame         binary response body
+//
+// JSON stays the default in both directions, and error responses are
+// always JSON regardless of Accept — a client that cannot decode a
+// frame can always decode what went wrong.
+//
+// Every frame body opens with wire.FrameMagic ("KFM1" as a
+// little-endian u32) so a misrouted JSON or gzip body fails fast with
+// a clear error. After the magic, the per-endpoint layouts are
+//
+//	POST /v1/plans                       magic, raw JSON header (PlanRequest
+//	                                     sans src/trg), f64s src, f64s trg
+//	                                     (empty = same as src)
+//	POST /v1/plans/{id}/evaluate         magic, f64s densities
+//	POST /v1/plans/{id}/evaluate_batch   magic, u32 count, count x f64s
+//	POST /v1/evaluate                    magic, raw JSON header, f64s src,
+//	                                     f64s trg, f64s densities
+//	POST /v1/uploads/{id}                magic, u64 word offset, f64s chunk
+//
+//	evaluate response                    magic, raw JSON meta (plan_id,
+//	                                     stats, trace), f64s potentials
+//	evaluate_batch response              magic, raw JSON meta, u32 count,
+//	                                     count x f64s
+//
+// using the shared internal/wire primitives (little-endian,
+// u64-count-prefixed word arrays, u32-length-prefixed raw blobs).
+// float64 words are IEEE 754 bits: NaN payloads, infinities and signed
+// zeros round-trip bit-exactly, which the JSON path cannot do.
+//
+// Every function below that carries bulk []float64 data uses only
+// internal/wire — encoding/json never touches the bulk path (the
+// nojsonhot analyzer enforces this); JSON headers ride through as
+// opaque raw blobs for the handlers to unmarshal.
+
+// ContentTypeFrame is the negotiated binary media type.
+const ContentTypeFrame = "application/x-kifmm-frame"
+
+// isFrameRequest reports whether the request body is the binary frame
+// encoding (Content-Type media type, parameters ignored).
+func isFrameRequest(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == ContentTypeFrame
+}
+
+// wantsFrameResponse reports whether the client asked for a binary
+// response (Accept lists the frame media type; weights are ignored —
+// listing it at all opts in).
+func wantsFrameResponse(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && mt == ContentTypeFrame {
+			return true
+		}
+	}
+	return false
+}
+
+// encodingOf names a request or response body's encoding for the
+// kifmm_wire_encoding_total metric.
+func encodingOf(frame bool) string {
+	if frame {
+		return "frame"
+	}
+	return "json"
+}
+
+// errBadFrame is the uniform 400 for a frame body that fails to parse.
+func errBadFrame(what string) error {
+	return badRequest("%s: malformed %s body: %v", what, ContentTypeFrame, wire.ErrMalformed)
+}
+
+// checkMagic consumes and verifies the leading frame magic.
+func checkMagic(r *wire.Reader) bool {
+	return r.U32() == wire.FrameMagic && r.Err() == nil
+}
+
+// decodePlanFrame parses a plan-registration frame into the opaque
+// JSON header and the bulk coordinate arrays (trg empty means "same as
+// src", matching the JSON shape).
+func decodePlanFrame(p []byte) (hdr []byte, src, trg []float64, err error) {
+	r := wire.NewReader(p)
+	if !checkMagic(r) {
+		return nil, nil, nil, errBadFrame("plan")
+	}
+	hdr = r.Raw()
+	src = r.F64s()
+	trg = r.F64s()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, nil, nil, errBadFrame("plan")
+	}
+	return hdr, src, trg, nil
+}
+
+// decodeOneShotFrame parses a one-shot evaluation frame: the plan
+// header and arrays plus the density vector.
+func decodeOneShotFrame(p []byte) (hdr []byte, src, trg, den []float64, err error) {
+	r := wire.NewReader(p)
+	if !checkMagic(r) {
+		return nil, nil, nil, nil, errBadFrame("evaluate")
+	}
+	hdr = r.Raw()
+	src = r.F64s()
+	trg = r.F64s()
+	den = r.F64s()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, nil, nil, nil, errBadFrame("evaluate")
+	}
+	return hdr, src, trg, den, nil
+}
+
+// decodeEvalFrame parses an evaluate request frame into the density
+// vector.
+func decodeEvalFrame(p []byte) ([]float64, error) {
+	r := wire.NewReader(p)
+	if !checkMagic(r) {
+		return nil, errBadFrame("evaluate")
+	}
+	den := r.F64s()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, errBadFrame("evaluate")
+	}
+	return den, nil
+}
+
+// decodeEvalBatchFrame parses an evaluate_batch request frame into the
+// density vectors.
+func decodeEvalBatchFrame(p []byte) ([][]float64, error) {
+	r := wire.NewReader(p)
+	if !checkMagic(r) {
+		return nil, errBadFrame("evaluate_batch")
+	}
+	n := int(r.U32())
+	// Each vector costs at least its 8-byte count word, so a corrupt
+	// count cannot over-allocate the outer slice.
+	if r.Err() != nil || n < 0 || n > r.Remaining()/8 {
+		return nil, errBadFrame("evaluate_batch")
+	}
+	dens := make([][]float64, n)
+	for i := range dens {
+		dens[i] = r.F64s()
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, errBadFrame("evaluate_batch")
+	}
+	return dens, nil
+}
+
+// decodeUploadChunkFrame parses an upload-chunk frame: the word offset
+// this chunk starts at and its float64 words.
+func decodeUploadChunkFrame(p []byte) (off uint64, words []float64, err error) {
+	r := wire.NewReader(p)
+	if !checkMagic(r) {
+		return 0, nil, errBadFrame("upload chunk")
+	}
+	off = r.U64()
+	words = r.F64s()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return 0, nil, errBadFrame("upload chunk")
+	}
+	return off, words, nil
+}
+
+// encodeEvalFrame assembles an evaluate response frame from the
+// marshaled JSON meta (plan_id, stats, trace) and the potentials.
+func encodeEvalFrame(meta []byte, pot []float64) []byte {
+	var w wire.Writer
+	w.Grow(4 + 4 + len(meta) + 8 + 8*len(pot))
+	w.U32(wire.FrameMagic)
+	w.Raw(meta)
+	w.F64s(pot)
+	return w.Bytes()
+}
+
+// encodeEvalBatchFrame assembles an evaluate_batch response frame.
+func encodeEvalBatchFrame(meta []byte, pots [][]float64) []byte {
+	total := 0
+	for _, p := range pots {
+		total += 8 + 8*len(p)
+	}
+	var w wire.Writer
+	w.Grow(4 + 4 + len(meta) + 4 + total)
+	w.U32(wire.FrameMagic)
+	w.Raw(meta)
+	w.U32(uint32(len(pots)))
+	for _, p := range pots {
+		w.F64s(p)
+	}
+	return w.Bytes()
+}
+
+// writeFrame sends a binary frame body.
+func writeFrame(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", ContentTypeFrame)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
